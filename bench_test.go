@@ -1,0 +1,378 @@
+// Benchmarks regenerating the paper's figures (see DESIGN.md §4 for the
+// experiment index, and cmd/iobench / cmd/dedupbench for the full-size
+// sweeps with table output). Each figure panel is a benchmark with
+// sub-benchmarks per series and thread count; the metric of interest is
+// ns/op for a fixed batch of work, which is proportional to the paper's
+// "execution time" axis.
+//
+// Run: go test -bench=. -benchmem
+package deferstm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"deferstm/internal/chunker"
+	"deferstm/internal/core"
+	"deferstm/internal/dedup"
+	"deferstm/internal/iobench"
+	"deferstm/internal/simio"
+	"deferstm/internal/stm"
+	"deferstm/internal/txlock"
+)
+
+// benchLatency is the harness I/O profile: every operation above the
+// time.Sleep floor so the fsync/write/open ratios hold (see
+// simio.SlowDiskLatency).
+func benchLatency() simio.Latency { return simio.SlowDiskLatency() }
+
+// dedupOutputLatency keeps the sequential output stage off the critical
+// path (cheap-ish writes and fsyncs) so the worker-stage differences the
+// paper measures are visible; see cmd/dedupbench.
+func dedupOutputLatency() simio.Latency {
+	l := simio.SlowDiskLatency()
+	l.Fsync = 2 * time.Millisecond
+	return l
+}
+
+func fig2(b *testing.B, files int, keepOpen bool, withFGL bool) {
+	const ops = 200
+	modes := []iobench.Mode{iobench.CGL, iobench.Irrevoc, iobench.Defer}
+	if withFGL {
+		modes = append(modes, iobench.FGL)
+	}
+	for _, mode := range modes {
+		for _, threads := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", mode, threads), func(b *testing.B) {
+				cfg := iobench.Config{
+					Mode: mode, Files: files, Threads: threads, Ops: ops,
+					KeepOpen: keepOpen, Latency: benchLatency(),
+				}
+				for i := 0; i < b.N; i++ {
+					if _, _, err := iobench.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig2a — I/O microbenchmark, 1 file (no concurrency available):
+// defer pays instrumentation overhead, irrevoc ≈ CGL.
+func BenchmarkFig2a(b *testing.B) { fig2(b, 1, false, false) }
+
+// BenchmarkFig2b — 2 files, +FGL: defer tracks FGL up to 2 threads.
+func BenchmarkFig2b(b *testing.B) { fig2(b, 2, false, true) }
+
+// BenchmarkFig2c — 4 files: defer scales with available concurrency.
+func BenchmarkFig2c(b *testing.B) { fig2(b, 4, false, true) }
+
+// BenchmarkFig2d — 4 files kept open (short critical sections): irrevoc
+// degrades below CGL; FGL flat; defer competitive with FGL.
+func BenchmarkFig2d(b *testing.B) { fig2(b, 4, true, true) }
+
+func fig3(b *testing.B, backends map[string]dedup.Backend, order []string, threadCounts []int, inputBytes int) {
+	input := dedup.GenInput(inputBytes, 0.5, 42)
+	for _, name := range order {
+		backend := backends[name]
+		for _, threads := range threadCounts {
+			b.Run(fmt.Sprintf("%s/threads=%d", name, threads), func(b *testing.B) {
+				cfg := dedup.Config{
+					Backend: backend, Threads: threads,
+					InputRead:      20 * time.Millisecond,
+					CompressEffort: 128,
+					Chunk:          chunker.Config{AvgBits: 16},
+				}
+				b.SetBytes(int64(len(input)))
+				for i := 0; i < b.N; i++ {
+					fs := simio.NewFS(dedupOutputLatency())
+					if _, err := dedup.Run(cfg, input, fs, "out"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig3a — PARSEC dedup, the seven series of Figure 3(a).
+func BenchmarkFig3a(b *testing.B) {
+	fig3(b,
+		map[string]dedup.Backend{
+			"STM": dedup.STM, "HTM": dedup.HTM,
+			"STM+DeferIO": dedup.STMDeferIO, "HTM+DeferIO": dedup.HTMDeferIO,
+			"STM+DeferAll": dedup.STMDeferAll, "HTM+DeferAll": dedup.HTMDeferAll,
+			"Pthread": dedup.Pthread,
+		},
+		[]string{"STM", "HTM", "STM+DeferIO", "HTM+DeferIO", "STM+DeferAll", "HTM+DeferAll", "Pthread"},
+		[]int{1, 2, 4, 8},
+		2<<20,
+	)
+}
+
+// BenchmarkFig3b — dedup at higher thread counts: baselines vs "Best"
+// (=+DeferAll) vs Pthread.
+func BenchmarkFig3b(b *testing.B) {
+	fig3(b,
+		map[string]dedup.Backend{
+			"STM": dedup.STM, "STM-Best": dedup.STMDeferAll,
+			"HTM-Best": dedup.HTMDeferAll, "Pthread": dedup.Pthread,
+		},
+		[]string{"STM", "STM-Best", "HTM-Best", "Pthread"},
+		[]int{4, 8, 16, 32},
+		2<<20,
+	)
+}
+
+// BenchmarkFig1Quiesce — the motivation figure: how long an unrelated
+// transaction (T3) stalls in quiescence while another thread (T1) runs a
+// long operation inside its transaction vs atomically deferred.
+func BenchmarkFig1Quiesce(b *testing.B) {
+	longWork := func() {
+		deadline := time.Now().Add(200 * time.Microsecond)
+		for time.Now().Before(deadline) {
+		}
+	}
+	for _, mode := range []string{"longop-in-tx", "longop-deferred"} {
+		b.Run(mode, func(b *testing.B) {
+			rt := stm.NewDefault()
+			type obj struct {
+				core.Deferrable
+				c stm.Var[int]
+			}
+			o := &obj{}
+			d := stm.NewVar(0) // T3's unrelated var
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // T1: long operation on o.c
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						o.Subscribe(tx)
+						o.c.Set(tx, o.c.Get(tx)+1)
+						if mode == "longop-in-tx" {
+							longWork()
+						} else {
+							core.AtomicDefer(tx, func(ctx *core.OpCtx) { longWork() }, o)
+						}
+						return nil
+					})
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// T3: writer on unrelated data; its commit quiesces and
+				// must wait out T1's in-transaction long op (but not the
+				// deferred one).
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					d.Set(tx, d.Get(tx)+1)
+					return nil
+				})
+			}
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkAblationSerializeAfter — A1: the GCC serialization threshold
+// (§2) on a conflict-heavy counter workload.
+func BenchmarkAblationSerializeAfter(b *testing.B) {
+	for _, after := range []int{1, 2, 10, 100} {
+		b.Run(fmt.Sprintf("after=%d", after), func(b *testing.B) {
+			rt := stm.New(stm.Config{SerializeAfter: after})
+			v := stm.NewVar(0)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						v.Set(tx, v.Get(tx)+1)
+						return nil
+					})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkAblationTxLock — A2: transaction-friendly lock vs sync.Mutex
+// as a plain mutual-exclusion lock.
+func BenchmarkAblationTxLock(b *testing.B) {
+	b.Run("txlock", func(b *testing.B) {
+		rt := stm.NewDefault()
+		l := txlock.NewLock()
+		b.RunParallel(func(pb *testing.PB) {
+			me := rt.NewOwner()
+			for pb.Next() {
+				l.AcquireOutside(rt, me)
+				if err := l.ReleaseOutside(rt, me); err != nil {
+					b.Error(err)
+				}
+			}
+		})
+	})
+	b.Run("sync.Mutex", func(b *testing.B) {
+		var mu sync.Mutex
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				mu.Lock()
+				mu.Unlock() //nolint:staticcheck
+			}
+		})
+	})
+}
+
+// BenchmarkAblationRetry — A3: blocking retry vs the paper's spinning
+// retry on a producer/consumer ping-pong.
+func BenchmarkAblationRetry(b *testing.B) {
+	for _, spin := range []bool{false, true} {
+		name := "blocking"
+		if spin {
+			name = "spin"
+		}
+		b.Run(name, func(b *testing.B) {
+			rt := stm.New(stm.Config{SpinRetry: spin})
+			box := stm.NewVar(0) // 0 = empty, else value
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // consumer
+				defer wg.Done()
+				for i := 0; i < b.N; i++ {
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						if box.Get(tx) == 0 {
+							tx.Retry()
+						}
+						box.Set(tx, 0)
+						return nil
+					})
+				}
+			}()
+			for i := 0; i < b.N; i++ { // producer
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					if box.Get(tx) != 0 {
+						tx.Retry()
+					}
+					box.Set(tx, i+1)
+					return nil
+				})
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkAblationHTMCapacity — A4: a fixed in-transaction buffer
+// footprint against varying simulated HTM capacities: once the footprint
+// exceeds capacity every transaction serializes; deferring the touch
+// avoids it at any capacity.
+func BenchmarkAblationHTMCapacity(b *testing.B) {
+	const footprint = 48 * 1024 // bytes touched by the "pure function"
+	for _, lines := range []int{256, 512, 1024, 2048} {
+		for _, deferred := range []bool{false, true} {
+			name := fmt.Sprintf("capacity=%d/deferred=%v", lines, deferred)
+			b.Run(name, func(b *testing.B) {
+				rt := stm.New(stm.Config{Mode: stm.ModeHTM, HTMWriteLines: lines, HTMReadLines: 4 * lines})
+				type obj struct {
+					core.Deferrable
+					c stm.Var[int]
+				}
+				o := &obj{}
+				for i := 0; i < b.N; i++ {
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						o.Subscribe(tx)
+						o.c.Set(tx, o.c.Get(tx)+1)
+						if deferred {
+							core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+								// touch happens outside the hardware
+								// transaction
+							}, o)
+						} else {
+							tx.HTMTouch(footprint, footprint)
+						}
+						return nil
+					})
+				}
+				b.ReportMetric(float64(rt.Snapshot().SerialRuns)/float64(b.N), "serial/op")
+			})
+		}
+	}
+}
+
+// BenchmarkSTMReadOnly — runtime micro: read-only transaction cost per
+// read-set size.
+func BenchmarkSTMReadOnly(b *testing.B) {
+	for _, n := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("reads=%d", n), func(b *testing.B) {
+			rt := stm.NewDefault()
+			vars := make([]*stm.Var[int], n)
+			for i := range vars {
+				vars[i] = stm.NewVar(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					s := 0
+					for _, v := range vars {
+						s += v.Get(tx)
+					}
+					return nil
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSTMCounterContended — runtime micro: contended read-modify-
+// write throughput.
+func BenchmarkSTMCounterContended(b *testing.B) {
+	rt := stm.NewDefault()
+	v := stm.NewVar(0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				v.Set(tx, v.Get(tx)+1)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkDeferOverhead — the constant per-transaction cost of an
+// atomic_defer (lock acquire + hook + release) vs a bare transaction,
+// the overhead visible at 1 thread in Figure 2.
+func BenchmarkDeferOverhead(b *testing.B) {
+	type obj struct {
+		core.Deferrable
+		c stm.Var[int]
+	}
+	b.Run("bare", func(b *testing.B) {
+		rt := stm.NewDefault()
+		o := &obj{}
+		for i := 0; i < b.N; i++ {
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				o.c.Set(tx, i)
+				return nil
+			})
+		}
+	})
+	b.Run("with-defer", func(b *testing.B) {
+		rt := stm.NewDefault()
+		o := &obj{}
+		for i := 0; i < b.N; i++ {
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				o.c.Set(tx, i)
+				core.AtomicDefer(tx, func(ctx *core.OpCtx) {}, o)
+				return nil
+			})
+		}
+	})
+}

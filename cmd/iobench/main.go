@@ -1,0 +1,114 @@
+// Command iobench regenerates the paper's Figure 2: the transactional
+// I/O microbenchmark comparing a coarse global lock (CGL), fine-grained
+// per-file locks (FGL), irrevocable transactions (irrevoc), and atomic
+// deferral (defer), across thread counts.
+//
+// Panels:
+//
+//	-config a   1 file, open/close per op (CGL, irrevoc, defer)
+//	-config b   2 files, open/close per op (+FGL)
+//	-config c   4 files, open/close per op (+FGL)
+//	-config d   4 files kept open, append-only (+FGL)
+//
+// Example:
+//
+//	iobench -config c -ops 20000 -threads 1,2,4,8 -trials 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"deferstm/internal/bench"
+	"deferstm/internal/iobench"
+	"deferstm/internal/simio"
+)
+
+func main() {
+	var (
+		config  = flag.String("config", "a", "figure panel: a, b, c or d")
+		ops     = flag.Int("ops", 2000, "total operations per run")
+		threads = flag.String("threads", "1,2,4,8", "comma-separated thread counts")
+		trials  = flag.Int("trials", 3, "trials per point (paper uses 5)")
+		payload = flag.Int("payload", 64, "payload bytes per append")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
+	)
+	flag.Parse()
+
+	files, keepOpen, withFGL := 1, false, false
+	switch *config {
+	case "a":
+		files = 1
+	case "b":
+		files, withFGL = 2, true
+	case "c":
+		files, withFGL = 4, true
+	case "d":
+		files, keepOpen, withFGL = 4, true, true
+	default:
+		fmt.Fprintf(os.Stderr, "iobench: unknown config %q (want a|b|c|d)\n", *config)
+		os.Exit(2)
+	}
+
+	threadCounts, err := parseInts(*threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+		os.Exit(2)
+	}
+
+	modes := []iobench.Mode{iobench.CGL, iobench.Irrevoc, iobench.Defer}
+	if withFGL {
+		modes = append(modes, iobench.FGL)
+	}
+
+	title := fmt.Sprintf("Figure 2(%s): I/O microbenchmark, %d file(s)%s, %d ops",
+		*config, files, map[bool]string{true: ", kept open"}[keepOpen], *ops)
+	tbl := bench.NewTable(title, "threads", "execution time (s)")
+
+	for _, mode := range modes {
+		series := tbl.SeriesByName(mode.String())
+		for _, t := range threadCounts {
+			cfg := iobench.Config{
+				Mode: mode, Files: files, Threads: t, Ops: *ops,
+				KeepOpen: keepOpen, Payload: *payload,
+				Latency: simio.SlowDiskLatency(),
+			}
+			bench.Measure(series, float64(t), *trials, func() {
+				if _, _, err := iobench.Run(cfg); err != nil {
+					fmt.Fprintf(os.Stderr, "iobench: %v run failed: %v\n", mode, err)
+					os.Exit(1)
+				}
+			})
+			fmt.Fprintf(os.Stderr, ".") // progress
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+
+	if *csv {
+		tbl.RenderCSV(os.Stdout)
+	} else {
+		tbl.Render(os.Stdout)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts")
+	}
+	return out, nil
+}

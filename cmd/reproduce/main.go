@@ -1,0 +1,305 @@
+// Command reproduce regenerates every experiment in the paper's
+// evaluation section (Figures 2 and 3), writes the result tables to a
+// directory, and checks the qualitative claims ("who wins, by roughly
+// what factor, where the crossovers fall") automatically.
+//
+//	reproduce -out results          # full run (~10-20 min on 1 CPU)
+//	reproduce -out results -quick   # reduced ops/trials (~3 min)
+//
+// Exit status is nonzero if any shape check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"deferstm/internal/bench"
+	"deferstm/internal/chunker"
+	"deferstm/internal/dedup"
+	"deferstm/internal/iobench"
+	"deferstm/internal/simio"
+)
+
+var checks []string
+var failures int
+
+func check(name string, ok bool, detail string) {
+	status := "PASS"
+	if !ok {
+		status = "FAIL"
+		failures++
+	}
+	line := fmt.Sprintf("%-4s %-52s %s", status, name, detail)
+	checks = append(checks, line)
+	fmt.Fprintln(os.Stderr, line)
+}
+
+func main() {
+	var (
+		outDir = flag.String("out", "results", "output directory for result tables")
+		quick  = flag.Bool("quick", false, "smaller runs (fewer ops, 1 trial)")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	trials := 2
+	ioOps := 1200
+	dedupSize := 8 << 20
+	if *quick {
+		trials = 1
+		ioOps = 600
+		dedupSize = 4 << 20
+	}
+
+	start := time.Now()
+	fig2(*outDir, ioOps, trials)
+	fig3(*outDir, dedupSize, trials)
+	fmt.Fprintf(os.Stderr, "total: %.1f min\n", time.Since(start).Minutes())
+
+	// Write the check summary.
+	sum := strings.Join(checks, "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(*outDir, "checks.txt"), []byte(sum), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d shape checks FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "all shape checks passed")
+}
+
+func writeTable(dir, name string, tbl *bench.Table) {
+	var sb strings.Builder
+	tbl.Render(&sb)
+	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+	var csv strings.Builder
+	tbl.RenderCSV(&csv)
+	if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// ---------- Figure 2 ----------
+
+func fig2(dir string, ops, trials int) {
+	panels := []struct {
+		name     string
+		files    int
+		keepOpen bool
+		withFGL  bool
+	}{
+		{"fig2a", 1, false, false},
+		{"fig2b", 2, false, true},
+		{"fig2c", 4, false, true},
+		{"fig2d", 4, true, true},
+	}
+	threadCounts := []int{1, 2, 4, 8}
+	for _, p := range panels {
+		modes := []iobench.Mode{iobench.CGL, iobench.Irrevoc, iobench.Defer}
+		if p.withFGL {
+			modes = append(modes, iobench.FGL)
+		}
+		title := fmt.Sprintf("Figure 2(%s): %d file(s)%s, %d ops", p.name[4:],
+			p.files, map[bool]string{true: " kept open"}[p.keepOpen], ops)
+		tbl := bench.NewTable(title, "threads", "execution time (s)")
+		for _, mode := range modes {
+			series := tbl.SeriesByName(mode.String())
+			for _, t := range threadCounts {
+				cfg := iobench.Config{
+					Mode: mode, Files: p.files, Threads: t, Ops: ops,
+					KeepOpen: p.keepOpen, Latency: simio.SlowDiskLatency(),
+				}
+				bench.Measure(series, float64(t), trials, func() {
+					if _, _, err := iobench.Run(cfg); err != nil {
+						fmt.Fprintf(os.Stderr, "reproduce: %v: %v\n", mode, err)
+						os.Exit(1)
+					}
+				})
+				fmt.Fprintf(os.Stderr, ".")
+			}
+		}
+		fmt.Fprintf(os.Stderr, " %s done\n", p.name)
+		writeTable(dir, p.name, tbl)
+		checkFig2(p.name, tbl, p.withFGL)
+	}
+}
+
+func checkFig2(name string, tbl *bench.Table, withFGL bool) {
+	cgl := tbl.SeriesByName("CGL")
+	irr := tbl.SeriesByName("irrevoc")
+	def := tbl.SeriesByName("defer")
+	switch name {
+	case "fig2a":
+		// No concurrency: nothing should scale much, and irrevoc should
+		// be within ~40% of CGL at every thread count (GCC's tuned
+		// irrevocability ≈ CGL, Section 6.1).
+		ok := irr.At(8) < cgl.At(8)*1.4 && irr.At(1) < cgl.At(1)*1.4
+		check("fig2a: irrevoc comparable to CGL", ok,
+			fmt.Sprintf("irrevoc@8=%.2fs cgl@8=%.2fs", irr.At(8), cgl.At(8)))
+		ok = def.At(8) > cgl.At(8)*0.5
+		check("fig2a: no series scales with 1 file", ok,
+			fmt.Sprintf("defer@8=%.2fs cgl@8=%.2fs", def.At(8), cgl.At(8)))
+	case "fig2b", "fig2c", "fig2d":
+		fgl := tbl.SeriesByName("FGL")
+		// defer tracks FGL at high thread counts (within 2x), while
+		// CGL/irrevoc do not improve beyond ~70% of their 1-thread time.
+		ok := def.At(8) < fgl.At(8)*2.0
+		check(name+": defer tracks FGL at 8 threads", ok,
+			fmt.Sprintf("defer@8=%.2fs fgl@8=%.2fs", def.At(8), fgl.At(8)))
+		ok = def.At(8) < def.At(1)*0.7
+		check(name+": defer scales (8t < 70% of 1t)", ok,
+			fmt.Sprintf("defer@1=%.2fs defer@8=%.2fs", def.At(1), def.At(8)))
+		ok = irr.At(8) > irr.At(1)*0.7
+		check(name+": irrevoc does not scale", ok,
+			fmt.Sprintf("irrevoc@1=%.2fs irrevoc@8=%.2fs", irr.At(1), irr.At(8)))
+		ok = def.At(8) < irr.At(8)*0.75
+		check(name+": defer beats irrevoc at 8 threads", ok,
+			fmt.Sprintf("defer@8=%.2fs irrevoc@8=%.2fs", def.At(8), irr.At(8)))
+		_ = withFGL
+	}
+}
+
+// ---------- Figure 3 ----------
+
+func dedupOutputLatency() simio.Latency {
+	return simio.Latency{
+		Open:       2 * time.Millisecond,
+		Close:      1500 * time.Microsecond,
+		Write:      1300 * time.Microsecond,
+		WritePerKB: 10 * time.Microsecond,
+		Read:       1300 * time.Microsecond,
+		Fsync:      1500 * time.Microsecond,
+	}
+}
+
+func fig3(dir string, size, trials int) {
+	input := dedup.GenInput(size, 0.5, 42)
+	run := func(b dedup.Backend, threads int) (float64, dedup.Result) {
+		cfg := dedup.Config{
+			Backend: b, Threads: threads,
+			InputRead:      20 * time.Millisecond,
+			CompressEffort: 128,
+			Chunk:          chunker.Config{AvgBits: 16},
+		}
+		var last dedup.Result
+		samples := bench.TimeTrials(trials, func() {
+			fs := simio.NewFS(dedupOutputLatency())
+			res, err := dedup.Run(cfg, input, fs, "out")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reproduce: dedup %v: %v\n", b, err)
+				os.Exit(1)
+			}
+			last = res
+		})
+		mean, _ := bench.MeanStd(samples)
+		return mean, last
+	}
+
+	// Figure 3(a)
+	aBackends := []struct {
+		name string
+		b    dedup.Backend
+	}{
+		{"STM", dedup.STM}, {"HTM", dedup.HTM},
+		{"STM+DeferIO", dedup.STMDeferIO}, {"HTM+DeferIO", dedup.HTMDeferIO},
+		{"STM+DeferAll", dedup.STMDeferAll}, {"HTM+DeferAll", dedup.HTMDeferAll},
+		{"Pthread", dedup.Pthread},
+	}
+	tblA := bench.NewTable(fmt.Sprintf("Figure 3(a): dedup, %d MiB", size>>20), "threads", "execution time (s)")
+	structural := map[string]dedup.Result{}
+	for _, e := range aBackends {
+		s := tblA.SeriesByName(e.name)
+		for _, t := range []int{1, 2, 4, 8} {
+			mean, res := run(e.b, t)
+			s.Add(float64(t), mean, 0)
+			if t == 8 {
+				structural[e.name] = res
+			}
+			fmt.Fprintf(os.Stderr, ".")
+		}
+	}
+	fmt.Fprintln(os.Stderr, " fig3a done")
+	writeTable(dir, "fig3a", tblA)
+
+	// Structural metrics table (the mechanism story).
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# structural TM metrics at 8 threads (Figure 3a runs)\n")
+	fmt.Fprintf(&sb, "%-14s %8s %8s %10s %10s %10s %8s\n",
+		"backend", "packets", "uniques", "serialRuns", "capAborts", "quiesceMs", "defOps")
+	for _, e := range aBackends {
+		r := structural[e.name]
+		fmt.Fprintf(&sb, "%-14s %8d %8d %10d %10d %10.1f %8d\n",
+			e.name, r.Packets, r.Uniques, r.TM.SerialRuns, r.TM.AbortsCapacity,
+			float64(r.TM.QuiesceNanos)/1e6, r.TM.DeferredOps)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fig3a_structural.txt"), []byte(sb.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+
+	// Shape checks for 3(a).
+	pt, stm8 := tblA.SeriesByName("Pthread"), tblA.SeriesByName("STM")
+	all8 := tblA.SeriesByName("STM+DeferAll")
+	htmAll := tblA.SeriesByName("HTM+DeferAll")
+	check("fig3a: Pthread scales 1->8 threads", pt.At(8) < pt.At(1)*0.45,
+		fmt.Sprintf("pthread@1=%.2fs pthread@8=%.2fs", pt.At(1), pt.At(8)))
+	check("fig3a: STM+DeferAll within 15% of Pthread @8", all8.At(8) < pt.At(8)*1.15,
+		fmt.Sprintf("deferall@8=%.2fs pthread@8=%.2fs", all8.At(8), pt.At(8)))
+	check("fig3a: HTM+DeferAll within 15% of Pthread @8", htmAll.At(8) < pt.At(8)*1.15,
+		fmt.Sprintf("htm-deferall@8=%.2fs pthread@8=%.2fs", htmAll.At(8), pt.At(8)))
+	check("fig3a: STM baseline slower than DeferAll @8", stm8.At(8) > all8.At(8)*1.05,
+		fmt.Sprintf("stm@8=%.2fs deferall@8=%.2fs", stm8.At(8), all8.At(8)))
+	rs, ra := structural["STM"], structural["STM+DeferAll"]
+	check("fig3a: STM serializes once per output packet", rs.TM.SerialRuns == rs.Packets,
+		fmt.Sprintf("serialRuns=%d packets=%d", rs.TM.SerialRuns, rs.Packets))
+	check("fig3a: DeferAll never serializes", ra.TM.SerialRuns == 0,
+		fmt.Sprintf("serialRuns=%d", ra.TM.SerialRuns))
+	rh := structural["HTM"]
+	check("fig3a: HTM compress exceeds capacity per unique", rh.TM.AbortsCapacity == 2*rh.Uniques,
+		fmt.Sprintf("capAborts=%d uniques=%d", rh.TM.AbortsCapacity, rh.Uniques))
+	rha := structural["HTM+DeferAll"]
+	check("fig3a: deferred compress fits in HTM", rha.TM.AbortsCapacity == 0,
+		fmt.Sprintf("capAborts=%d", rha.TM.AbortsCapacity))
+
+	// Figure 3(b): higher thread counts, Best vs baseline.
+	bBackends := []struct {
+		name string
+		b    dedup.Backend
+	}{
+		{"STM", dedup.STM}, {"STM-Best", dedup.STMDeferAll},
+		{"HTM-Best", dedup.HTMDeferAll}, {"Pthread", dedup.Pthread},
+	}
+	tblB := bench.NewTable(fmt.Sprintf("Figure 3(b): dedup, %d MiB", size>>20), "threads", "execution time (s)")
+	for _, e := range bBackends {
+		s := tblB.SeriesByName(e.name)
+		for _, t := range []int{4, 8, 16, 32} {
+			mean, _ := run(e.b, t)
+			s.Add(float64(t), mean, 0)
+			fmt.Fprintf(os.Stderr, ".")
+		}
+	}
+	fmt.Fprintln(os.Stderr, " fig3b done")
+	writeTable(dir, "fig3b", tblB)
+
+	best := tblB.SeriesByName("STM-Best")
+	base := tblB.SeriesByName("STM")
+	ptb := tblB.SeriesByName("Pthread")
+	check("fig3b: STM-Best matches Pthread @32", best.At(32) < ptb.At(32)*1.2,
+		fmt.Sprintf("best@32=%.2fs pthread@32=%.2fs", best.At(32), ptb.At(32)))
+	// The paper reports ~10x at 32 threads on a 36-core machine. This
+	// host cannot execute compressions in parallel, so the baseline's
+	// lost compute-parallelism costs nothing here and the wall-clock gap
+	// collapses (see EXPERIMENTS.md); what must still hold is that the
+	// baseline is never *better*, and that its serialization persists
+	// structurally (checked per-packet in fig3a).
+	check("fig3b: baseline never beats Best @32", base.At(32) > best.At(32)*0.95,
+		fmt.Sprintf("stm@32=%.2fs best@32=%.2fs", base.At(32), best.At(32)))
+}

@@ -1,0 +1,284 @@
+// Command stmtorture stress-tests the STM runtime, transaction-friendly
+// locks, and atomic deferral under sustained concurrency, checking
+// invariants continuously:
+//
+//   - bank: transfers among accounts; total must be conserved, and
+//     transactional audits must never observe a partial transfer;
+//   - tree: random red-black tree mutations; structural invariants are
+//     validated periodically;
+//   - defer: transactions update a deferrable pair (a transactionally,
+//     b in the deferred operation); subscribing readers must never
+//     observe a != b;
+//   - locks: opposite-order multi-lock acquisition through transactions
+//     (deadlock-freedom check).
+//
+// Example:
+//
+//	stmtorture -duration 10s -threads 8 -workload all -mode stm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deferstm/internal/core"
+	"deferstm/internal/ds"
+	"deferstm/internal/stm"
+	"deferstm/internal/txlock"
+)
+
+var failures atomic.Int64
+
+func failf(format string, args ...any) {
+	failures.Add(1)
+	fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+}
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 5*time.Second, "run time per workload")
+		threads  = flag.Int("threads", 8, "concurrent worker goroutines")
+		workload = flag.String("workload", "all", "bank|tree|defer|locks|all")
+		mode     = flag.String("mode", "stm", "stm|htm")
+	)
+	flag.Parse()
+
+	cfg := stm.Config{}
+	if *mode == "htm" {
+		cfg.Mode = stm.ModeHTM
+	} else if *mode != "stm" {
+		fmt.Fprintf(os.Stderr, "stmtorture: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	workloads := map[string]func(*stm.Runtime, int, time.Duration){
+		"bank":  tortureBank,
+		"tree":  tortureTree,
+		"defer": tortureDefer,
+		"locks": tortureLocks,
+	}
+	order := []string{"bank", "tree", "defer", "locks"}
+
+	ran := 0
+	for _, name := range order {
+		if *workload != "all" && *workload != name {
+			continue
+		}
+		ran++
+		rt := stm.New(cfg)
+		start := time.Now()
+		workloads[name](rt, *threads, *duration)
+		snap := rt.Snapshot()
+		fmt.Printf("%-6s %8.2fs  %s\n", name, time.Since(start).Seconds(), snap.String())
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "stmtorture: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	if n := failures.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "stmtorture: %d invariant violations\n", n)
+		os.Exit(1)
+	}
+	fmt.Println("all invariants held")
+}
+
+func runFor(threads int, d time.Duration, body func(tid int, rng func(int) int64)) {
+	stop := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			state := uint64(tid)*2654435761 + 1
+			rng := func(n int) int64 {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				return int64(state % uint64(n))
+			}
+			for time.Now().Before(stop) {
+				body(tid, rng)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+func tortureBank(rt *stm.Runtime, threads int, d time.Duration) {
+	const nAcct = 32
+	const initial = 1000
+	accounts := make([]*stm.Var[int], nAcct)
+	for i := range accounts {
+		accounts[i] = stm.NewVar(initial)
+	}
+	runFor(threads, d, func(tid int, rng func(int) int64) {
+		if rng(10) == 0 { // audit
+			sum := 0
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				sum = 0
+				for _, a := range accounts {
+					sum += a.Get(tx)
+				}
+				return nil
+			})
+			if sum != nAcct*initial {
+				failf("bank: audit saw %d, want %d", sum, nAcct*initial)
+			}
+			return
+		}
+		from, to := rng(nAcct), rng(nAcct)
+		if from == to {
+			return
+		}
+		amt := int(rng(100)) + 1
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			f := accounts[from].Get(tx)
+			if f < amt {
+				return nil
+			}
+			accounts[from].Set(tx, f-amt)
+			accounts[to].Set(tx, accounts[to].Get(tx)+amt)
+			return nil
+		})
+	})
+	total := 0
+	for _, a := range accounts {
+		total += a.Load()
+	}
+	if total != nAcct*initial {
+		failf("bank: final total %d, want %d", total, nAcct*initial)
+	}
+}
+
+func tortureTree(rt *stm.Runtime, threads int, d time.Duration) {
+	tree := ds.NewRBTree[int]()
+	var ops atomic.Int64
+	done := make(chan struct{})
+	go func() { // periodic validator
+		tick := time.NewTicker(100 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if err := tree.Validate(); err != nil {
+					failf("tree: %v", err)
+				}
+			}
+		}
+	}()
+	runFor(threads, d, func(tid int, rng func(int) int64) {
+		ops.Add(1)
+		k := rng(1000)
+		switch rng(3) {
+		case 0, 1:
+			_ = rt.Atomic(func(tx *stm.Tx) error { tree.Insert(tx, k, tid); return nil })
+		default:
+			_ = rt.Atomic(func(tx *stm.Tx) error { tree.Delete(tx, k); return nil })
+		}
+	})
+	close(done)
+	if err := tree.Validate(); err != nil {
+		failf("tree final: %v", err)
+	}
+	var n int
+	var keys []int64
+	_ = rt.Atomic(func(tx *stm.Tx) error { n = tree.Len(tx); keys = tree.Keys(tx); return nil })
+	if n != len(keys) {
+		failf("tree: size %d != key count %d", n, len(keys))
+	}
+}
+
+type torturePair struct {
+	core.Deferrable
+	a, b stm.Var[int]
+}
+
+func tortureDefer(rt *stm.Runtime, threads int, d time.Duration) {
+	pairs := make([]*torturePair, 8)
+	for i := range pairs {
+		pairs[i] = &torturePair{}
+	}
+	runFor(threads, d, func(tid int, rng func(int) int64) {
+		p := pairs[rng(len(pairs))]
+		if rng(4) == 0 { // writer: a transactionally, b deferred
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				p.Subscribe(tx)
+				v := p.a.Get(tx) + 1
+				p.a.Set(tx, v)
+				core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+					core.Store(ctx, &p.b, v)
+				}, p)
+				return nil
+			})
+			return
+		}
+		var a, b int
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			p.Subscribe(tx)
+			a = p.a.Get(tx)
+			b = p.b.Get(tx)
+			return nil
+		})
+		if a != b {
+			failf("defer: observed a=%d b=%d", a, b)
+		}
+	})
+	for i, p := range pairs {
+		if p.Locked() {
+			failf("defer: pair %d lock leaked", i)
+		}
+		if p.a.Load() != p.b.Load() {
+			failf("defer: final pair %d a=%d b=%d", i, p.a.Load(), p.b.Load())
+		}
+	}
+}
+
+func tortureLocks(rt *stm.Runtime, threads int, d time.Duration) {
+	locks := make([]*txlock.Lock, 4)
+	for i := range locks {
+		locks[i] = txlock.NewLock()
+	}
+	shared := make([]int, len(locks)) // each protected by locks[i]
+	var mu sync.Mutex                 // protects expected counts
+	expected := make([]int, len(locks))
+	runFor(threads, d, func(tid int, rng func(int) int64) {
+		i, j := rng(len(locks)), rng(len(locks))
+		if i == j {
+			j = (j + 1) % int64(len(locks))
+		}
+		me := rt.NewOwner()
+		// Acquire both locks in one transaction (arbitrary order —
+		// deadlock-free by construction), mutate, release.
+		_ = rt.AtomicAs(me, func(tx *stm.Tx) error {
+			locks[i].Acquire(tx)
+			locks[j].Acquire(tx)
+			return nil
+		})
+		shared[i]++
+		shared[j]++
+		mu.Lock()
+		expected[i]++
+		expected[j]++
+		mu.Unlock()
+		_ = rt.AtomicAs(me, func(tx *stm.Tx) error {
+			if err := locks[i].Release(tx); err != nil {
+				return err
+			}
+			return locks[j].Release(tx)
+		})
+	})
+	for i := range locks {
+		if locks[i].OwnerSnapshot() != 0 {
+			failf("locks: lock %d leaked", i)
+		}
+		if shared[i] != expected[i] {
+			failf("locks: slot %d = %d, want %d (mutual exclusion violated)", i, shared[i], expected[i])
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Durable: the paper's Listing 4 — durable output with guaranteed
+// fsync ordering.
+//
+// Two files F1 and F2: F2 must not be written until F1's contents have
+// reached the disk. Simply deferring the fsync is not enough — the
+// *completion* of the first durable write must gate the second. The
+// construction: the completion flag lives in a Deferrable buffer object,
+// and the deferred operation sets it while holding the object's lock, so
+// a transaction that subscribes and reads the flag either sees it set
+// (the fsync returned) or waits (the deferred write is in flight) or sees
+// it clear (the first transaction hasn't committed).
+//
+// Run with: go run ./examples/durable
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"deferstm/internal/core"
+	"deferstm/internal/simio"
+	"deferstm/internal/stm"
+)
+
+func main() {
+	rt := stm.NewDefault()
+	// A filesystem with a slow, visible fsync.
+	fs := simio.NewFS(simio.Latency{Fsync: 3 * time.Millisecond})
+
+	f1, err := fs.Create("wal-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	f2, err := fs.Create("wal-2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fd1 := simio.NewDeferFD(f1)
+	fd2 := simio.NewDeferFD(f2)
+	buf1 := simio.NewDeferBuffer([]byte("record-A: must be durable first\n"))
+	buf2 := simio.NewDeferBuffer([]byte("record-B: only after A is on disk\n"))
+
+	var wg sync.WaitGroup
+
+	// T2 — conditional durable output to F2, gated on buf1's flag
+	// (Listing 4, right side). Started first to show the retry blocking.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := rt.Atomic(func(tx *stm.Tx) error {
+			if !buf1.Flag(tx) {
+				// Case (1)/(2) of the paper's discussion: the flag is
+				// unset or the deferred write is in flight — wait.
+				tx.Retry()
+			}
+			// Case (3): buf1 is durable; emit F2's record.
+			b := buf2.Buf(tx)
+			f := fd2.FD(tx)
+			core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+				durable, _ := fs.SyncedLen("wal-1")
+				fmt.Printf("T2 deferred write begins; wal-1 durable bytes: %d\n", durable)
+				if durable == 0 {
+					log.Fatal("ordering violated: wal-1 not durable before wal-2 write")
+				}
+				if _, err := f.Write(b); err != nil {
+					log.Fatal(err)
+				}
+				if err := f.Fsync(); err != nil {
+					log.Fatal(err)
+				}
+				buf2.SetFlagDirect(ctx, true)
+			}, fd2, buf2)
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	time.Sleep(2 * time.Millisecond) // let T2 block on the flag
+
+	// T1 — durable output to F1 (Listing 4, left side).
+	err = rt.Atomic(func(tx *stm.Tx) error {
+		b := buf1.Buf(tx)
+		f := fd1.FD(tx)
+		core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+			fmt.Println("T1 deferred write begins (slow fsync ahead)")
+			if _, err := f.Write(b); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Fsync(); err != nil {
+				log.Fatal(err)
+			}
+			// The flag flips only after the fsync returned, still under
+			// buf1's lock — this is what T2's subscription synchronizes
+			// with.
+			buf1.SetFlagDirect(ctx, true)
+		}, fd1, buf1)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wg.Wait()
+
+	d1, _ := fs.SyncedLen("wal-1")
+	d2, _ := fs.SyncedLen("wal-2")
+	c1, _ := fs.ReadAll("wal-1")
+	c2, _ := fs.ReadAll("wal-2")
+	fmt.Printf("wal-1: %d bytes, %d durable\nwal-2: %d bytes, %d durable\n",
+		len(c1), d1, len(c2), d2)
+	if d1 != len(c1) || d2 != len(c2) {
+		log.Fatal("durability accounting wrong")
+	}
+	fmt.Println("ok: wal-2 was written only after wal-1 reached the disk")
+}

@@ -1,0 +1,3 @@
+module deferstm
+
+go 1.24

@@ -1,0 +1,238 @@
+// Package bench is the measurement harness shared by the benchmark
+// binaries (cmd/iobench, cmd/dedupbench) and the root bench_test.go: it
+// runs repeated trials, aggregates mean and standard deviation, and
+// renders the same rows/series the paper's figures report, as aligned
+// text tables or CSV.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one measurement: Y (mean) at X, with standard deviation Dev
+// over the trials.
+type Point struct {
+	X   float64
+	Y   float64
+	Dev float64
+}
+
+// Series is a named curve, e.g. "defer" or "FGL" in Figure 2.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y, dev float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Dev: dev})
+}
+
+// At returns the Y value at x (NaN if absent).
+func (s *Series) At(x float64) float64 {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y
+		}
+	}
+	return math.NaN()
+}
+
+// Table is a figure-shaped result set: one row per X value, one column
+// per series.
+type Table struct {
+	Title  string
+	XLabel string // e.g. "threads"
+	YLabel string // e.g. "execution time (s)"
+	Series []*Series
+}
+
+// NewTable creates an empty table.
+func NewTable(title, xLabel, yLabel string) *Table {
+	return &Table{Title: title, XLabel: xLabel, YLabel: yLabel}
+}
+
+// Series returns (creating if needed) the named series.
+func (t *Table) SeriesByName(name string) *Series {
+	for _, s := range t.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	t.Series = append(t.Series, s)
+	return s
+}
+
+// xs returns the sorted union of X values across series.
+func (t *Table) xs() []float64 {
+	set := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			set[p.X] = true
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func formatX(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Render writes an aligned text table: header row of series names, one
+// row per X, cells "mean±dev".
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s vs %s\n", t.Title, t.YLabel, t.XLabel)
+	cols := make([]string, 0, len(t.Series)+1)
+	cols = append(cols, t.XLabel)
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for _, x := range t.xs() {
+		row := []string{formatX(x)}
+		for _, s := range t.Series {
+			y := s.At(x)
+			if math.IsNaN(y) {
+				row = append(row, "-")
+				continue
+			}
+			var dev float64
+			for _, p := range s.Points {
+				if p.X == x {
+					dev = p.Dev
+				}
+			}
+			if dev > 0 {
+				row = append(row, fmt.Sprintf("%.3f±%.3f", y, dev))
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", y))
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		if ri == 0 {
+			fmt.Fprintln(w, strings.Repeat("-", len(strings.TrimRight(b.String(), " "))))
+		}
+	}
+}
+
+// RenderCSV writes the table as CSV (x, then one column per series mean,
+// then one per series dev).
+func (t *Table) RenderCSV(w io.Writer) {
+	cols := []string{t.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name+"_dev")
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, x := range t.xs() {
+		row := []string{formatX(x)}
+		for _, s := range t.Series {
+			y := s.At(x)
+			if math.IsNaN(y) {
+				row = append(row, "")
+			} else {
+				row = append(row, fmt.Sprintf("%.6f", y))
+			}
+		}
+		for _, s := range t.Series {
+			var dev float64
+			found := false
+			for _, p := range s.Points {
+				if p.X == x {
+					dev, found = p.Dev, true
+				}
+			}
+			if found {
+				row = append(row, fmt.Sprintf("%.6f", dev))
+			} else {
+				row = append(row, "")
+			}
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+}
+
+// MeanStd returns the mean and (population) standard deviation.
+func MeanStd(samples []float64) (mean, std float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(len(samples))
+	for _, s := range samples {
+		std += (s - mean) * (s - mean)
+	}
+	std = math.Sqrt(std / float64(len(samples)))
+	return mean, std
+}
+
+// TimeTrials runs fn `trials` times and returns per-trial wall-clock
+// seconds. The paper reports the average of 5 trials.
+func TimeTrials(trials int, fn func()) []float64 {
+	if trials < 1 {
+		trials = 1
+	}
+	out := make([]float64, trials)
+	for i := range out {
+		start := time.Now()
+		fn()
+		out[i] = time.Since(start).Seconds()
+	}
+	return out
+}
+
+// Measure runs fn `trials` times and adds the aggregated point to series
+// s at x.
+func Measure(s *Series, x float64, trials int, fn func()) {
+	mean, dev := MeanStd(TimeTrials(trials, fn))
+	s.Add(x, mean, dev)
+}
+
+// Speedup returns a derived series base/other at matching X values
+// (e.g. "times faster than the TM baseline" in Section 6.2).
+func Speedup(name string, base, other *Series) *Series {
+	out := &Series{Name: name}
+	for _, p := range base.Points {
+		o := other.At(p.X)
+		if !math.IsNaN(o) && o > 0 {
+			out.Add(p.X, p.Y/o, 0)
+		}
+	}
+	return out
+}

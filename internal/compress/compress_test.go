@@ -1,0 +1,304 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	c := Compress(nil, src)
+	got, err := Decompress(c)
+	if err != nil {
+		t.Fatalf("Decompress(%d bytes): %v", len(src), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d in, %d out", len(src), len(got))
+	}
+	return c
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("abcd"),
+		[]byte("hello hello hello hello"),
+		bytes.Repeat([]byte("x"), 10_000),
+		[]byte(strings.Repeat("the quick brown fox ", 500)),
+	}
+	for i, c := range cases {
+		t.Run(string(rune('a'+i)), func(t *testing.T) {
+			roundTrip(t, c)
+		})
+	}
+}
+
+func TestCompressibleDataShrinks(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 4096)
+	c := roundTrip(t, src)
+	if r := Ratio(len(src), len(c)); r > 0.2 {
+		t.Errorf("ratio = %.2f for highly repetitive data", r)
+	}
+}
+
+func TestIncompressibleDataBounded(t *testing.T) {
+	src := make([]byte, 64*1024)
+	x := uint64(99)
+	for i := range src {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		src[i] = byte(x)
+	}
+	c := roundTrip(t, src)
+	if len(c) > MaxCompressedLen(len(src)) {
+		t.Errorf("compressed %d > bound %d", len(c), MaxCompressedLen(len(src)))
+	}
+	if r := Ratio(len(src), len(c)); r > 1.1 {
+		t.Errorf("expansion ratio = %.3f too large", r)
+	}
+}
+
+func TestLongMatchExtendedLengths(t *testing.T) {
+	// A single run longer than 15+255*k exercises extension bytes on both
+	// the literal and match sides.
+	var src []byte
+	src = append(src, bytes.Repeat([]byte{'L'}, 3000)...) // long match after first bytes
+	lits := make([]byte, 300)                             // long literal run (incompressible)
+	x := uint64(7)
+	for i := range lits {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		lits[i] = byte(x)
+	}
+	src = append(src, lits...)
+	roundTrip(t, src)
+}
+
+func TestTextRatio(t *testing.T) {
+	text := strings.Repeat("Transactional memory simplifies concurrent programming. ", 2000)
+	c := roundTrip(t, []byte(text))
+	if r := Ratio(len(text), len(c)); r > 0.25 {
+		t.Errorf("text ratio = %.3f, expected < 0.25 for repetitive text", r)
+	}
+}
+
+func TestDecompressedLen(t *testing.T) {
+	src := []byte("some content to compress")
+	c := Compress(nil, src)
+	n, err := DecompressedLen(c)
+	if err != nil || n != len(src) {
+		t.Errorf("DecompressedLen = %d,%v want %d", n, err, len(src))
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"short":        {'D'},
+		"bad magic":    []byte("XXXX\x00"),
+		"no length":    {'D', 'L', 'Z', '1'},
+		"trunc length": {'D', 'L', 'Z', '1', 0xFF},
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decompress(in); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	// Valid header, then garbage body.
+	good := Compress(nil, bytes.Repeat([]byte("abcd1234"), 100))
+	bad := append([]byte{}, good...)
+	for i := 10; i < len(bad); i += 3 {
+		bad[i] ^= 0x5A
+	}
+	if _, err := Decompress(bad); err == nil {
+		// Corruption may coincidentally decode, but the size check makes
+		// that extraordinarily unlikely for this pattern.
+		t.Log("corrupted stream decoded — checking content")
+		out, _ := Decompress(bad)
+		if bytes.Equal(out, bytes.Repeat([]byte("abcd1234"), 100)) {
+			t.Error("corruption had no effect")
+		}
+	}
+	// Truncations must error, never panic.
+	for cut := 1; cut < len(good); cut += 5 {
+		if _, err := Decompress(good[:cut]); err == nil {
+			out, _ := Decompress(good[:cut])
+			if len(out) == 800 {
+				t.Errorf("truncation at %d decoded fully", cut)
+			}
+		}
+	}
+}
+
+func TestErrorsAreClassified(t *testing.T) {
+	if _, err := Decompress(nil); !errors.Is(err, ErrTooShort) {
+		t.Errorf("nil input: %v", err)
+	}
+	if _, err := Decompress([]byte("XXXXXXXX")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic: %v", err)
+	}
+}
+
+func TestRatioHelper(t *testing.T) {
+	if Ratio(0, 10) != 1 {
+		t.Error("empty original should report 1")
+	}
+	if Ratio(100, 50) != 0.5 {
+		t.Error("ratio math wrong")
+	}
+}
+
+// Property: round trip for arbitrary byte slices.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		c := Compress(nil, src)
+		got, err := Decompress(c)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Decompress never panics on arbitrary input.
+func TestDecompressNeverPanics(t *testing.T) {
+	f := func(junk []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decompress(junk)
+		// Also with a valid header prepended.
+		withHdr := append([]byte{'D', 'L', 'Z', '1', 40}, junk...)
+		_, _ = Decompress(withHdr)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compression is deterministic.
+func TestCompressDeterministic(t *testing.T) {
+	f := func(src []byte) bool {
+		return bytes.Equal(Compress(nil, src), Compress(nil, src))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: appending to dst preserves the prefix.
+func TestCompressAppendsToDst(t *testing.T) {
+	prefix := []byte("PREFIX")
+	src := []byte("payload payload payload")
+	out := Compress(append([]byte{}, prefix...), src)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Error("dst prefix clobbered")
+	}
+	got, err := Decompress(out[len(prefix):])
+	if err != nil || !bytes.Equal(got, src) {
+		t.Errorf("decode after prefix: %v", err)
+	}
+}
+
+func BenchmarkCompress64K(b *testing.B) {
+	src := []byte(strings.Repeat("benchmark data with some repetition and entropy 0123456789 ", 1200))[:64*1024]
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = Compress(dst[:0], src)
+	}
+}
+
+func BenchmarkDecompress64K(b *testing.B) {
+	src := []byte(strings.Repeat("benchmark data with some repetition and entropy 0123456789 ", 1200))[:64*1024]
+	c := Compress(nil, src)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCompressLevelRoundTrip(t *testing.T) {
+	data := []byte(strings.Repeat("level test data with patterns 0123456789 ", 800))
+	for _, effort := range []int{1, 2, 8, 32, 128} {
+		c := CompressLevel(nil, data, effort)
+		got, err := Decompress(c)
+		if err != nil {
+			t.Fatalf("effort %d: %v", effort, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("effort %d: round trip mismatch", effort)
+		}
+	}
+}
+
+func TestCompressLevelEffortOneMatchesCompress(t *testing.T) {
+	data := []byte(strings.Repeat("identical output check ", 500))
+	if !bytes.Equal(CompressLevel(nil, data, 1), Compress(nil, data)) {
+		t.Error("effort 1 differs from Compress")
+	}
+	if !bytes.Equal(CompressLevel(nil, data, 0), Compress(nil, data)) {
+		t.Error("effort 0 differs from Compress")
+	}
+}
+
+func TestCompressLevelHigherEffortNotWorse(t *testing.T) {
+	// On repetitive-but-varied data, deeper search should not produce a
+	// (meaningfully) larger stream.
+	var data []byte
+	x := uint64(17)
+	for i := 0; i < 2000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		word := []byte{'w', byte('a' + x%13), byte('a' + x%7), ' '}
+		data = append(data, word...)
+	}
+	low := len(CompressLevel(nil, data, 1))
+	high := len(CompressLevel(nil, data, 64))
+	if high > low+low/20 {
+		t.Errorf("effort 64 output %d noticeably larger than effort 1 output %d", high, low)
+	}
+}
+
+// Property: CompressLevel round-trips at arbitrary efforts.
+func TestCompressLevelProperty(t *testing.T) {
+	f := func(src []byte, effort uint8) bool {
+		c := CompressLevel(nil, src, int(effort%40))
+		got, err := Decompress(c)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChainBytes(t *testing.T) {
+	if ChainBytes(1000) != 4000 {
+		t.Error("ChainBytes wrong")
+	}
+}
+
+func BenchmarkCompressLevel32_32K(b *testing.B) {
+	src := []byte(strings.Repeat("benchmark data with some repetition and entropy 0123456789 ", 600))[:32*1024]
+	b.SetBytes(int64(len(src)))
+	var dst []byte
+	for i := 0; i < b.N; i++ {
+		dst = CompressLevel(dst[:0], src, 32)
+	}
+}

@@ -1,0 +1,168 @@
+// Package core implements atomic deferral, the primary contribution of
+// Zhou, Luchangco and Spear's "Extending Transactional Memory with Atomic
+// Deferral" (SPAA/OPODIS 2017).
+//
+// A transaction may defer a long-running or irrevocable operation (file
+// I/O, system calls, an expensive pure function) until after it commits,
+// while remaining serializable: no concurrent transaction can observe the
+// state between "the transaction committed" and "its deferred operation
+// finished". The mechanism (the paper's Listing 1):
+//
+//   - every Deferrable object carries an implicit transaction-friendly
+//     lock, and every transaction-safe method of the object subscribes to
+//     that lock as its first action;
+//   - AtomicDefer acquires the locks of all objects the deferred
+//     operation may access, inside the deferring transaction (hence
+//     deadlock-free: the acquisitions take effect atomically at commit);
+//   - at commit the runtime validates, writes back, quiesces, and then
+//     runs the deferred operations in order, releasing each operation's
+//     locks as it completes; memory reclamation queued by the transaction
+//     is delayed until all deferred operations are done.
+//
+// Correctness follows the paper's two-phase-locking argument: every lock
+// needed by a deferred operation is acquired before the transaction's
+// conceptual global lock is released at commit, so there is a pure
+// acquire phase followed by a pure release phase.
+package core
+
+import (
+	"deferstm/internal/stm"
+	"deferstm/internal/txlock"
+)
+
+// Object is the type-erased view of a deferrable object: anything that
+// embeds Deferrable satisfies it. AtomicDefer accepts Objects so user
+// structs can be passed directly.
+type Object interface {
+	deferrableLock() *txlock.Lock
+}
+
+// Deferrable is the base for objects that deferred operations may access
+// (the paper's `deferrable class` annotation). Embed it in a struct whose
+// shared fields are stm.Vars, and call Subscribe at the top of every
+// transaction-safe method. The zero value is ready to use.
+type Deferrable struct {
+	lock txlock.Lock
+}
+
+func (d *Deferrable) deferrableLock() *txlock.Lock { return &d.lock }
+
+// Subscribe elides the object's implicit lock inside tx: it blocks (via
+// retry) until the lock is free or held by tx's owner, and leaves the
+// lock's owner field in tx's read set so any later acquisition aborts tx.
+// The compiler extension described in the paper injects this call at the
+// start of every transaction-safe method of a deferrable class; in Go,
+// call it explicitly at the top of each method that touches shared fields.
+func (d *Deferrable) Subscribe(tx *stm.Tx) {
+	d.lock.Subscribe(tx)
+}
+
+// Lock exposes the implicit per-instance lock (diagnostics and tests).
+func (d *Deferrable) Lock() *txlock.Lock { return &d.lock }
+
+// Locked reports whether the implicit lock is currently held (snapshot).
+func (d *Deferrable) Locked() bool { return d.lock.OwnerSnapshot() != 0 }
+
+// Op is a deferred operation. It runs after the deferring transaction has
+// committed and the runtime has quiesced, while the locks of its
+// associated Deferrable objects are held. It receives an OpCtx carrying
+// the runtime and the deferring transaction's lock-owner identity, so it
+// can run follow-up transactions that reenter those locks.
+type Op func(ctx *OpCtx)
+
+// OpCtx is the execution context of a deferred operation.
+type OpCtx struct {
+	rt    *stm.Runtime
+	owner stm.OwnerID
+}
+
+// Runtime returns the runtime the deferring transaction ran on.
+func (c *OpCtx) Runtime() *stm.Runtime { return c.rt }
+
+// Owner returns the deferring transaction's lock-owner identity. Locks of
+// the operation's Deferrable objects are held under this identity while
+// the operation runs.
+func (c *OpCtx) Owner() stm.OwnerID { return c.owner }
+
+// Atomic runs fn as a transaction that inherits the deferring
+// transaction's owner identity, so subscriptions and acquisitions of the
+// operation's own locks reenter rather than self-deadlock.
+func (c *OpCtx) Atomic(fn func(tx *stm.Tx) error) error {
+	return c.rt.AtomicAs(c.owner, fn)
+}
+
+// AtomicSerial runs fn as a serial (irrevocable) transaction inheriting
+// the owner identity.
+func (c *OpCtx) AtomicSerial(fn func(tx *stm.Tx) error) error {
+	return c.rt.AtomicSerialAs(c.owner, fn)
+}
+
+// Load reads a Var non-transactionally from a deferred operation. It is
+// safe for fields of Deferrable objects whose locks the operation holds.
+func Load[T any](c *OpCtx, v *stm.Var[T]) T { return v.Load() }
+
+// Store publishes x to v non-transactionally from a deferred operation,
+// bumping v's version so concurrent transactions validate correctly. It is
+// safe for fields of Deferrable objects whose locks the operation holds:
+// subscription guarantees any transaction that could observe the store
+// conflicts with the lock acquisition and aborts.
+func Store[T any](c *OpCtx, v *stm.Var[T], x T) { v.StoreDirect(c.rt, x) }
+
+// AtomicDefer defers op until after the enclosing transaction commits (the
+// paper's atomic_defer). objs lists every Deferrable the operation may
+// access; their implicit locks are acquired inside tx (atomically at
+// commit, hence without deadlock) and released as the operation completes.
+// Deferred operations of one transaction run in registration order, after
+// the runtime has quiesced, and each sees the effects of earlier ones.
+//
+// Passing no objects is allowed (the paper's "pass nil" variant for
+// unordered logging): the operation then runs post-commit with no lock
+// protection, and is atomic only in the sense that it happens after the
+// transaction's writes are visible.
+//
+// If the operation accesses a shared object not listed in objs, a data
+// race may occur — exactly the proviso of the paper's Section 4.1.
+func AtomicDefer(tx *stm.Tx, op Op, objs ...Object) {
+	me := tx.Owner()
+	rt := tx.Runtime()
+	// Acquire phase (two-phase locking): all locks the operation needs,
+	// acquired within the transaction.
+	locks := make([]*txlock.Lock, 0, len(objs))
+	for _, o := range objs {
+		if o == nil {
+			continue
+		}
+		l := o.deferrableLock()
+		l.AcquireAs(tx, me)
+		locks = append(locks, l)
+	}
+	tx.AfterCommit(func() {
+		ctx := &OpCtx{rt: rt, owner: me}
+		defer func() {
+			// Release phase: even if the operation panics, the locks
+			// must not leak (concurrent subscribers would block
+			// forever); release, then let the panic propagate.
+			releaseAll(rt, me, locks)
+			rt.Stats().DeferredOps.Add(1)
+		}()
+		op(ctx)
+	})
+}
+
+func releaseAll(rt *stm.Runtime, me stm.OwnerID, locks []*txlock.Lock) {
+	if len(locks) == 0 {
+		return
+	}
+	_ = rt.AtomicAs(me, func(tx *stm.Tx) error {
+		for _, l := range locks {
+			// The release cannot fail: the locks were acquired under
+			// `me` by the committed transaction. A reentrant depth >1
+			// (the same object deferred by a later operation of the
+			// same transaction) just decrements.
+			if err := l.ReleaseAs(tx, me); err != nil {
+				panic("core: deferred release failed: " + err.Error())
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,74 @@
+package dedup
+
+// GenInput synthesizes an input stream with a controllable duplication
+// profile, standing in for the PARSEC "simlarge" media archive. The
+// stream is a sequence of spans several chunks long (96–192 KiB of mildly
+// compressible content); with probability dupRatio a span repeats an
+// earlier span verbatim. Spans are deliberately larger than the dedup
+// pipeline's chunks (32 KiB average) so that content-defined chunking
+// resynchronizes inside a repeated span and rediscovers its interior
+// chunks as duplicates — the same reason real archives dedup well.
+//
+// dupRatio 0 yields an (almost) fully unique stream; 0.75 resembles the
+// highly redundant archives dedup targets. The generator is deterministic
+// in seed.
+func GenInput(size int, dupRatio float64, seed uint64) []byte {
+	if size <= 0 {
+		return nil
+	}
+	if dupRatio < 0 {
+		dupRatio = 0
+	}
+	if dupRatio > 1 {
+		dupRatio = 1
+	}
+	rng := seed*2654435761 + 0x9E3779B97F4A7C15
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	out := make([]byte, 0, size)
+	var spans [][]byte // previously generated unique spans
+	threshold := uint64(dupRatio * float64(1<<32))
+	for len(out) < size {
+		if len(spans) > 0 && next()&0xFFFFFFFF < threshold {
+			// Repeat an earlier span verbatim.
+			b := spans[next()%uint64(len(spans))]
+			if rem := size - len(out); len(b) > rem {
+				b = b[:rem]
+			}
+			out = append(out, b...)
+			continue
+		}
+		n := 96*1024 + int(next()%(96*1024))
+		if len(out)+n > size {
+			n = size - len(out)
+		}
+		start := len(out)
+		// Mildly compressible content: mix of runs and noise, so the
+		// compression stage has real work with realistic ratios.
+		for len(out)-start < n {
+			r := next()
+			if r&7 == 0 {
+				// a short run
+				runLen := int(r>>8)%64 + 8
+				if rem := n - (len(out) - start); runLen > rem {
+					runLen = rem
+				}
+				ch := byte(r >> 16)
+				for i := 0; i < runLen; i++ {
+					out = append(out, ch)
+				}
+			} else {
+				out = append(out, byte(r), byte(r>>8), byte(r>>16), byte(r>>24))
+				if over := (len(out) - start) - n; over > 0 {
+					out = out[:len(out)-over]
+				}
+			}
+		}
+		spans = append(spans, out[start:start+n])
+	}
+	return out[:size]
+}

@@ -1,0 +1,141 @@
+// Package dedup reproduces the PARSEC dedup kernel: a pipelined,
+// content-addressed deduplicating compressor, the workload of the paper's
+// Section 6.2 (Figure 3).
+//
+// The pipeline splits an input stream into content-defined chunks
+// (internal/chunker), deduplicates them against a shared fingerprint
+// table (SHA-256), compresses unique chunks (internal/compress), and
+// writes records to an output file in input order through a single
+// reorder/output stage (internal/simio), fsyncing per packet as in the
+// paper's pipeline_out (Listing 7).
+//
+// The shared state — fingerprint table, reorder ring, output stream — can
+// be synchronized by eight interchangeable backends (Backend): pthread-
+// style fine-grained locks, a single coarse global lock, and TM in the
+// six paper configurations (STM/HTM × baseline/+DeferIO/+DeferAll).
+package dedup
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"deferstm/internal/compress"
+)
+
+// Record types in the output stream.
+const (
+	recUnique byte = 'U' // payload: compressed chunk
+	recDup    byte = 'D' // payload: uvarint seq of the unique packet
+)
+
+// ErrBadStream reports a malformed output stream.
+var ErrBadStream = errors.New("dedup: malformed output stream")
+
+// appendRecord serializes one output record:
+//
+//	[type byte][uvarint seq][uvarint payload len][payload]
+func appendRecord(dst []byte, typ byte, seq uint64, payload []byte) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, typ)
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], seq)]...)
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(payload)))]...)
+	return append(dst, payload...)
+}
+
+// buildUniqueRecord builds the record for a unique packet.
+func buildUniqueRecord(seq uint64, compressed []byte) []byte {
+	out := make([]byte, 0, len(compressed)+2*binary.MaxVarintLen64+1)
+	return appendRecord(out, recUnique, seq, compressed)
+}
+
+// buildDupRecord builds the record for a duplicate packet referencing the
+// unique packet refSeq.
+func buildDupRecord(seq, refSeq uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	payload := tmp[:binary.PutUvarint(tmp[:], refSeq)]
+	out := make([]byte, 0, len(payload)+2*binary.MaxVarintLen64+1)
+	return appendRecord(out, recDup, seq, payload)
+}
+
+type rawRecord struct {
+	typ     byte
+	seq     uint64
+	payload []byte
+}
+
+func parseRecords(data []byte) ([]rawRecord, error) {
+	var recs []rawRecord
+	pos := 0
+	for pos < len(data) {
+		typ := data[pos]
+		pos++
+		if typ != recUnique && typ != recDup {
+			return nil, fmt.Errorf("%w: bad record type %q at %d", ErrBadStream, typ, pos-1)
+		}
+		seq, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad seq at %d", ErrBadStream, pos)
+		}
+		pos += k
+		plen, k := binary.Uvarint(data[pos:])
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: bad payload length at %d", ErrBadStream, pos)
+		}
+		pos += k
+		if uint64(len(data)-pos) < plen {
+			return nil, fmt.Errorf("%w: truncated payload at %d", ErrBadStream, pos)
+		}
+		recs = append(recs, rawRecord{typ: typ, seq: seq, payload: data[pos : pos+int(plen)]})
+		pos += int(plen)
+	}
+	return recs, nil
+}
+
+// Decode reconstructs the original input from a dedup output stream. It
+// is the "un-dedup" verifier used by tests and examples: records appear in
+// input (seq) order, but a duplicate may reference a unique packet with a
+// *higher* seq (the worker that lost the insertion race had the smaller
+// seq), so decoding is two-pass: first index unique chunks by seq, then
+// stitch the stream.
+func Decode(data []byte) ([]byte, error) {
+	recs, err := parseRecords(data)
+	if err != nil {
+		return nil, err
+	}
+	uniques := make(map[uint64][]byte, len(recs))
+	for _, r := range recs {
+		if r.typ != recUnique {
+			continue
+		}
+		chunk, err := compress.Decompress(r.payload)
+		if err != nil {
+			return nil, fmt.Errorf("dedup: chunk %d: %w", r.seq, err)
+		}
+		uniques[r.seq] = chunk
+	}
+	var out bytes.Buffer
+	lastSeq := int64(-1)
+	for _, r := range recs {
+		if int64(r.seq) != lastSeq+1 {
+			return nil, fmt.Errorf("%w: records out of order (%d after %d)", ErrBadStream, r.seq, lastSeq)
+		}
+		lastSeq = int64(r.seq)
+		switch r.typ {
+		case recUnique:
+			out.Write(uniques[r.seq])
+		case recDup:
+			ref, k := binary.Uvarint(r.payload)
+			if k <= 0 {
+				return nil, fmt.Errorf("%w: bad dup ref in %d", ErrBadStream, r.seq)
+			}
+			chunk, ok := uniques[ref]
+			if !ok {
+				return nil, fmt.Errorf("%w: dup %d references missing unique %d", ErrBadStream, r.seq, ref)
+			}
+			out.Write(chunk)
+		}
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,138 @@
+package dedup
+
+import (
+	"sync"
+
+	"deferstm/internal/core"
+	"deferstm/internal/stm"
+)
+
+// packet is one chunk flowing through the pipeline. Fields written before
+// the packet is published into the reorder ring (seq, raw, fp, unique,
+// refSeq) are plain; compressed may be filled after publication (by a
+// deferred compression under the packet's lock in +DeferAll), so it is a
+// transactional Var guarded by the packet's Deferrable subscription.
+type packet struct {
+	core.Deferrable
+	seq        uint64
+	raw        []byte // chunk bytes (alias into the input)
+	fp         Fingerprint
+	unique     bool
+	refSeq     uint64 // owner seq when duplicate
+	compressed stm.Var[[]byte]
+}
+
+// reorder is the worker→writer handoff: a bounded ring indexed by
+// sequence number, so the single output stage emits packets in input
+// order (PARSEC dedup's reorder stage).
+type reorder interface {
+	// reserve retries (in TM rings) while seq's slot is not yet
+	// writable, so a transaction can bail out cheaply *before* doing
+	// expensive work whose put would block — the moral equivalent of
+	// PARSEC waiting for queue space before processing. No-op for lock
+	// rings (their put blocks without wasting work).
+	reserve(tx *stm.Tx, seq uint64)
+	// put publishes p (blocking while the slot is occupied: backpressure).
+	// For TM backends it must be called inside the enclosing transaction.
+	put(tx *stm.Tx, p *packet)
+	// take removes and returns packet seq (blocking until present).
+	take(tx *stm.Tx, seq uint64) *packet
+}
+
+// ---- transactional ring ----
+//
+// Each slot carries a round number: slot i is in round r while it serves
+// sequence number r*W + i. put(seq) must wait for the slot to reach
+// seq/W, not merely for it to be empty — an empty slot whose round is too
+// low means an *earlier* packet with the same index has not been written
+// yet, and putting the later one would deadlock the in-order writer (the
+// classic reorder-window hazard).
+
+type ringSlot struct {
+	round uint64
+	p     *packet
+}
+
+type tmRing struct {
+	slots []stm.Var[ringSlot]
+}
+
+func newTMRing(size int) *tmRing {
+	return &tmRing{slots: make([]stm.Var[ringSlot], size)}
+}
+
+func (r *tmRing) reserve(tx *stm.Tx, seq uint64) {
+	w := uint64(len(r.slots))
+	s := &r.slots[seq%w]
+	sl := s.Get(tx)
+	if sl.p != nil || sl.round != seq/w {
+		tx.Retry()
+	}
+}
+
+func (r *tmRing) put(tx *stm.Tx, p *packet) {
+	w := uint64(len(r.slots))
+	s := &r.slots[p.seq%w]
+	sl := s.Get(tx)
+	if sl.p != nil || sl.round != p.seq/w {
+		tx.Retry() // slot occupied, or its round hasn't come yet
+	}
+	s.Set(tx, ringSlot{round: sl.round, p: p})
+}
+
+func (r *tmRing) take(tx *stm.Tx, seq uint64) *packet {
+	w := uint64(len(r.slots))
+	s := &r.slots[seq%w]
+	sl := s.Get(tx)
+	if sl.p == nil || sl.p.seq != seq {
+		tx.Retry()
+	}
+	s.Set(tx, ringSlot{round: sl.round + 1})
+	return sl.p
+}
+
+// ---- lock-based ring (Pthread / CGL backends) ----
+//
+// Same per-slot round discipline as the transactional ring.
+
+type lockRing struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	slots  []*packet
+	rounds []uint64
+}
+
+func newLockRing(size int) *lockRing {
+	r := &lockRing{slots: make([]*packet, size), rounds: make([]uint64, size)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *lockRing) reserve(_ *stm.Tx, _ uint64) {}
+
+func (r *lockRing) put(_ *stm.Tx, p *packet) {
+	w := uint64(len(r.slots))
+	idx := p.seq % w
+	r.mu.Lock()
+	for r.slots[idx] != nil || r.rounds[idx] != p.seq/w {
+		r.cond.Wait()
+	}
+	r.slots[idx] = p
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+func (r *lockRing) take(_ *stm.Tx, seq uint64) *packet {
+	w := uint64(len(r.slots))
+	idx := seq % w
+	r.mu.Lock()
+	for r.slots[idx] == nil || r.slots[idx].seq != seq {
+		r.cond.Wait()
+	}
+	p := r.slots[idx]
+	r.slots[idx] = nil
+	r.rounds[idx]++
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	return p
+}

@@ -1,0 +1,119 @@
+package dedup
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"deferstm/internal/stm"
+)
+
+// TestRingOutOfOrderWindowHazard reproduces the reorder-window hazard: a
+// producer holding seq and another producer holding seq+W (same slot)
+// must not deadlock the in-order consumer. Without per-slot rounds,
+// seq+W can land in the empty slot first and wedge the pipeline.
+func TestRingOutOfOrderWindowHazard(t *testing.T) {
+	for _, kind := range []string{"tm", "lock"} {
+		t.Run(kind, func(t *testing.T) {
+			const W = 4
+			const N = 64
+			rt := stm.NewDefault()
+			var ring reorder
+			if kind == "tm" {
+				ring = newTMRing(W)
+			} else {
+				ring = newLockRing(W)
+			}
+			put := func(p *packet) {
+				if kind == "tm" {
+					_ = rt.Atomic(func(tx *stm.Tx) error { ring.put(tx, p); return nil })
+				} else {
+					ring.put(nil, p)
+				}
+			}
+			take := func(seq uint64) *packet {
+				var p *packet
+				if kind == "tm" {
+					_ = rt.Atomic(func(tx *stm.Tx) error { p = ring.take(tx, seq); return nil })
+				} else {
+					p = ring.take(nil, seq)
+				}
+				return p
+			}
+
+			// Two producers deliberately put colliding seqs out of order:
+			// producer B tries seq+W before producer A has put seq.
+			feedA := make(chan uint64, N)
+			feedB := make(chan uint64, N)
+			for s := uint64(0); s < N; s++ {
+				if (s/W)%2 == 0 {
+					feedA <- s
+				} else {
+					feedB <- s
+				}
+			}
+			close(feedA)
+			close(feedB)
+			var wg sync.WaitGroup
+			producer := func(feed chan uint64, delay time.Duration) {
+				defer wg.Done()
+				for s := range feed {
+					time.Sleep(delay)
+					put(&packet{seq: s})
+				}
+			}
+			wg.Add(2)
+			go producer(feedA, 200*time.Microsecond) // slow: later seqs race ahead
+			go producer(feedB, 0)
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for s := uint64(0); s < N; s++ {
+					p := take(s)
+					if p.seq != s {
+						t.Errorf("take(%d) returned seq %d", s, p.seq)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("reorder ring deadlocked")
+			}
+		})
+	}
+}
+
+// TestRingBackpressure: a producer more than W ahead must block until the
+// consumer catches up.
+func TestRingBackpressure(t *testing.T) {
+	rt := stm.NewDefault()
+	const W = 2
+	ring := newTMRing(W)
+	for s := uint64(0); s < W; s++ {
+		if err := rt.Atomic(func(tx *stm.Tx) error { ring.put(tx, &packet{seq: s}); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan struct{})
+	go func() {
+		_ = rt.Atomic(func(tx *stm.Tx) error { ring.put(tx, &packet{seq: W}); return nil })
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("put beyond the window did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := rt.Atomic(func(tx *stm.Tx) error { ring.take(tx, 0); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("put did not resume after take")
+	}
+}

@@ -1,0 +1,118 @@
+package dedup
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"deferstm/internal/stm"
+)
+
+// Fingerprint identifies a chunk by its SHA-256 digest.
+type Fingerprint [sha256.Size]byte
+
+// fingerprint hashes a chunk.
+func fingerprint(data []byte) Fingerprint { return sha256.Sum256(data) }
+
+// bucketOf maps a fingerprint to a bucket index (first 8 bytes, masked).
+func bucketOf(fp Fingerprint, nBuckets int) int {
+	h := uint64(fp[0]) | uint64(fp[1])<<8 | uint64(fp[2])<<16 | uint64(fp[3])<<24 |
+		uint64(fp[4])<<32 | uint64(fp[5])<<40 | uint64(fp[6])<<48 | uint64(fp[7])<<56
+	return int(h % uint64(nBuckets))
+}
+
+// fpTable is the shared fingerprint index: lookupOrInsert returns the seq
+// of the packet that owns (first inserted) the fingerprint, and whether
+// this call performed the insertion. It is the dedup pipeline's contended
+// shared structure.
+type fpTable interface {
+	lookupOrInsert(tx *stm.Tx, fp Fingerprint, seq uint64) (ownerSeq uint64, inserted bool)
+	// entries reports the number of unique fingerprints (post-run).
+	entries() int
+}
+
+// ---- transactional table (TM backends) ----
+
+type tmNode struct {
+	fp   Fingerprint
+	seq  uint64
+	next *tmNode
+}
+
+type tmTable struct {
+	buckets []stm.Var[*tmNode]
+}
+
+func newTMTable(nBuckets int) *tmTable {
+	return &tmTable{buckets: make([]stm.Var[*tmNode], nBuckets)}
+}
+
+func (t *tmTable) lookupOrInsert(tx *stm.Tx, fp Fingerprint, seq uint64) (uint64, bool) {
+	b := &t.buckets[bucketOf(fp, len(t.buckets))]
+	head := b.Get(tx)
+	for n := head; n != nil; n = n.next {
+		if n.fp == fp {
+			return n.seq, false
+		}
+	}
+	b.Set(tx, &tmNode{fp: fp, seq: seq, next: head})
+	return seq, true
+}
+
+func (t *tmTable) entries() int {
+	n := 0
+	for i := range t.buckets {
+		for node := t.buckets[i].Load(); node != nil; node = node.next {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- lock-based table (Pthread backend: one lock per bucket) ----
+
+type lockNode struct {
+	fp   Fingerprint
+	seq  uint64
+	next *lockNode
+}
+
+type lockBucket struct {
+	mu   sync.Mutex
+	head *lockNode
+	_    [4]uint64 // pad to reduce false sharing between buckets
+}
+
+type lockTable struct {
+	buckets []lockBucket
+}
+
+func newLockTable(nBuckets int) *lockTable {
+	return &lockTable{buckets: make([]lockBucket, nBuckets)}
+}
+
+// lookupOrInsert for the lock table ignores tx (it may be nil).
+func (t *lockTable) lookupOrInsert(_ *stm.Tx, fp Fingerprint, seq uint64) (uint64, bool) {
+	b := &t.buckets[bucketOf(fp, len(t.buckets))]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for n := b.head; n != nil; n = n.next {
+		if n.fp == fp {
+			return n.seq, false
+		}
+	}
+	b.head = &lockNode{fp: fp, seq: seq, next: b.head}
+	return seq, true
+}
+
+func (t *lockTable) entries() int {
+	n := 0
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.Lock()
+		for node := b.head; node != nil; node = node.next {
+			n++
+		}
+		b.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,107 @@
+package ds
+
+import (
+	"deferstm/internal/stm"
+)
+
+// HashMap is a transactional hash map with a fixed bucket array and
+// per-bucket chain Vars: operations on different buckets never conflict.
+type HashMap[V any] struct {
+	buckets []stm.Var[*mapNode[V]]
+	size    stm.Var[int]
+}
+
+type mapNode[V any] struct {
+	key  int64
+	val  V
+	next *mapNode[V]
+}
+
+// NewHashMap creates a map with nBuckets buckets (minimum 16).
+func NewHashMap[V any](nBuckets int) *HashMap[V] {
+	if nBuckets < 16 {
+		nBuckets = 16
+	}
+	return &HashMap[V]{buckets: make([]stm.Var[*mapNode[V]], nBuckets)}
+}
+
+func (m *HashMap[V]) bucket(k int64) *stm.Var[*mapNode[V]] {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return &m.buckets[h%uint64(len(m.buckets))]
+}
+
+// Get returns the value for k and whether it was present.
+func (m *HashMap[V]) Get(tx *stm.Tx, k int64) (V, bool) {
+	for n := m.bucket(k).Get(tx); n != nil; n = n.next {
+		if n.key == k {
+			return n.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces k's value, returning true if the key was new.
+// Chains are immutable nodes: updates rebuild the chain prefix, so readers
+// of other keys in the same bucket conflict only via the bucket head Var.
+func (m *HashMap[V]) Put(tx *stm.Tx, k int64, v V) bool {
+	b := m.bucket(k)
+	head := b.Get(tx)
+	for n := head; n != nil; n = n.next {
+		if n.key == k {
+			b.Set(tx, replaceNode(head, k, v))
+			return false
+		}
+	}
+	b.Set(tx, &mapNode[V]{key: k, val: v, next: head})
+	m.size.Set(tx, m.size.Get(tx)+1)
+	return true
+}
+
+// replaceNode rebuilds chain head..k with k's value replaced.
+func replaceNode[V any](head *mapNode[V], k int64, v V) *mapNode[V] {
+	if head.key == k {
+		return &mapNode[V]{key: k, val: v, next: head.next}
+	}
+	return &mapNode[V]{key: head.key, val: head.val, next: replaceNode(head.next, k, v)}
+}
+
+// Delete removes k, returning whether it was present.
+func (m *HashMap[V]) Delete(tx *stm.Tx, k int64) bool {
+	b := m.bucket(k)
+	head := b.Get(tx)
+	found := false
+	for n := head; n != nil; n = n.next {
+		if n.key == k {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	b.Set(tx, removeNode(head, k))
+	m.size.Set(tx, m.size.Get(tx)-1)
+	return true
+}
+
+func removeNode[V any](head *mapNode[V], k int64) *mapNode[V] {
+	if head.key == k {
+		return head.next
+	}
+	return &mapNode[V]{key: head.key, val: head.val, next: removeNode(head.next, k)}
+}
+
+// Len returns the number of entries.
+func (m *HashMap[V]) Len(tx *stm.Tx) int { return m.size.Get(tx) }
+
+// Range calls fn for each entry (inside tx) until fn returns false.
+func (m *HashMap[V]) Range(tx *stm.Tx, fn func(k int64, v V) bool) {
+	for i := range m.buckets {
+		for n := m.buckets[i].Get(tx); n != nil; n = n.next {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+	}
+}

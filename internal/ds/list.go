@@ -1,0 +1,85 @@
+// Package ds provides transactional data structures built on the STM
+// runtime: a sorted linked-list set, a hash map, and a red-black tree (the
+// paper's introduction motivates TM with exactly such irregular pointer
+// structures — "the rebalancing operations of a red-black tree mutation").
+//
+// They serve three roles in the reproduction: realistic workloads for the
+// contention-manager ablations, exercises for the STM's conflict
+// detection (long traversals, read-mostly vs write-heavy mixes), and
+// example fodder.
+package ds
+
+import (
+	"deferstm/internal/stm"
+)
+
+// List is a sorted singly-linked integer set with per-node link Vars, so
+// disjoint updates conflict only when they touch adjacent nodes.
+// The zero List is not usable; call NewList.
+type List struct {
+	head *listNode // sentinel (-inf)
+	size stm.Var[int]
+}
+
+type listNode struct {
+	key  int64
+	next stm.Var[*listNode]
+}
+
+// NewList returns an empty set.
+func NewList() *List {
+	return &List{head: &listNode{key: -1 << 62}}
+}
+
+// find returns the last node with key < k and its successor.
+func (l *List) find(tx *stm.Tx, k int64) (prev, cur *listNode) {
+	prev = l.head
+	cur = prev.next.Get(tx)
+	for cur != nil && cur.key < k {
+		prev = cur
+		cur = cur.next.Get(tx)
+	}
+	return prev, cur
+}
+
+// Contains reports whether k is in the set.
+func (l *List) Contains(tx *stm.Tx, k int64) bool {
+	_, cur := l.find(tx, k)
+	return cur != nil && cur.key == k
+}
+
+// Insert adds k, returning false if it was already present.
+func (l *List) Insert(tx *stm.Tx, k int64) bool {
+	prev, cur := l.find(tx, k)
+	if cur != nil && cur.key == k {
+		return false
+	}
+	n := &listNode{key: k}
+	n.next.Set(tx, cur)
+	prev.next.Set(tx, n)
+	l.size.Set(tx, l.size.Get(tx)+1)
+	return true
+}
+
+// Remove deletes k, returning false if it was absent.
+func (l *List) Remove(tx *stm.Tx, k int64) bool {
+	prev, cur := l.find(tx, k)
+	if cur == nil || cur.key != k {
+		return false
+	}
+	prev.next.Set(tx, cur.next.Get(tx))
+	l.size.Set(tx, l.size.Get(tx)-1)
+	return true
+}
+
+// Len returns the set size.
+func (l *List) Len(tx *stm.Tx) int { return l.size.Get(tx) }
+
+// Keys returns the sorted keys (inside tx).
+func (l *List) Keys(tx *stm.Tx) []int64 {
+	var out []int64
+	for n := l.head.next.Get(tx); n != nil; n = n.next.Get(tx) {
+		out = append(out, n.key)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package ds
+
+import (
+	"deferstm/internal/stm"
+)
+
+// Queue is an unbounded transactional FIFO queue (two persistent stacks,
+// the classic functional-queue construction): Put appends, Take removes
+// the oldest element or retries until one exists. Because Take uses
+// retry, a consumer transaction composes with arbitrary other
+// transactional work — the "composable blocking" of Harris et al. that
+// the paper's Section 2 reviews.
+type Queue[T any] struct {
+	front stm.Var[*qNode[T]] // next to take, oldest first
+	back  stm.Var[*qNode[T]] // most recent put first
+	size  stm.Var[int]
+}
+
+type qNode[T any] struct {
+	v    T
+	next *qNode[T]
+}
+
+// NewQueue returns an empty queue.
+func NewQueue[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Put appends v.
+func (q *Queue[T]) Put(tx *stm.Tx, v T) {
+	q.back.Set(tx, &qNode[T]{v: v, next: q.back.Get(tx)})
+	q.size.Set(tx, q.size.Get(tx)+1)
+}
+
+// TryTake removes and returns the oldest element, or ok=false when empty.
+func (q *Queue[T]) TryTake(tx *stm.Tx) (T, bool) {
+	if f := q.front.Get(tx); f != nil {
+		q.front.Set(tx, f.next)
+		q.size.Set(tx, q.size.Get(tx)-1)
+		return f.v, true
+	}
+	// Reverse the back list into the front.
+	b := q.back.Get(tx)
+	if b == nil {
+		var zero T
+		return zero, false
+	}
+	var front *qNode[T]
+	for n := b; n != nil; n = n.next {
+		front = &qNode[T]{v: n.v, next: front}
+	}
+	q.back.Set(tx, nil)
+	q.front.Set(tx, front.next)
+	q.size.Set(tx, q.size.Get(tx)-1)
+	return front.v, true
+}
+
+// Take removes and returns the oldest element, retrying (blocking and
+// re-executing the transaction) while the queue is empty.
+func (q *Queue[T]) Take(tx *stm.Tx) T {
+	v, ok := q.TryTake(tx)
+	if !ok {
+		tx.Retry()
+	}
+	return v
+}
+
+// Len reports the queue length.
+func (q *Queue[T]) Len(tx *stm.Tx) int { return q.size.Get(tx) }
+
+// BoundedQueue is a fixed-capacity transactional FIFO ring. Put retries
+// while full; Take retries while empty. It is the data structure behind
+// reorder windows and bounded pipelines (compare internal/dedup's ring).
+type BoundedQueue[T any] struct {
+	slots []stm.Var[T]
+	head  stm.Var[uint64] // next take position
+	tail  stm.Var[uint64] // next put position
+}
+
+// NewBoundedQueue returns a queue of capacity n (minimum 1).
+func NewBoundedQueue[T any](n int) *BoundedQueue[T] {
+	if n < 1 {
+		n = 1
+	}
+	return &BoundedQueue[T]{slots: make([]stm.Var[T], n)}
+}
+
+// Cap returns the capacity.
+func (q *BoundedQueue[T]) Cap() int { return len(q.slots) }
+
+// Len reports the number of queued elements inside tx.
+func (q *BoundedQueue[T]) Len(tx *stm.Tx) int {
+	return int(q.tail.Get(tx) - q.head.Get(tx))
+}
+
+// TryPut appends v, reporting false when full.
+func (q *BoundedQueue[T]) TryPut(tx *stm.Tx, v T) bool {
+	t := q.tail.Get(tx)
+	if int(t-q.head.Get(tx)) == len(q.slots) {
+		return false
+	}
+	q.slots[t%uint64(len(q.slots))].Set(tx, v)
+	q.tail.Set(tx, t+1)
+	return true
+}
+
+// Put appends v, retrying while the queue is full.
+func (q *BoundedQueue[T]) Put(tx *stm.Tx, v T) {
+	if !q.TryPut(tx, v) {
+		tx.Retry()
+	}
+}
+
+// TryTake removes the oldest element, reporting false when empty.
+func (q *BoundedQueue[T]) TryTake(tx *stm.Tx) (T, bool) {
+	h := q.head.Get(tx)
+	if h == q.tail.Get(tx) {
+		var zero T
+		return zero, false
+	}
+	slot := &q.slots[h%uint64(len(q.slots))]
+	v := slot.Get(tx)
+	var zero T
+	slot.Set(tx, zero) // drop the reference for GC
+	q.head.Set(tx, h+1)
+	return v, true
+}
+
+// Take removes the oldest element, retrying while the queue is empty.
+func (q *BoundedQueue[T]) Take(tx *stm.Tx) T {
+	v, ok := q.TryTake(tx)
+	if !ok {
+		tx.Retry()
+	}
+	return v
+}

@@ -1,0 +1,291 @@
+package ds
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"deferstm/internal/stm"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	rt := stm.NewDefault()
+	q := NewQueue[int]()
+	atomically(t, rt, func(tx *stm.Tx) {
+		for i := 1; i <= 5; i++ {
+			q.Put(tx, i)
+		}
+		if q.Len(tx) != 5 {
+			t.Errorf("len = %d", q.Len(tx))
+		}
+	})
+	var got []int
+	atomically(t, rt, func(tx *stm.Tx) {
+		got = got[:0]
+		for i := 0; i < 5; i++ {
+			v, ok := q.TryTake(tx)
+			if !ok {
+				t.Fatal("queue empty early")
+			}
+			got = append(got, v)
+		}
+		if _, ok := q.TryTake(tx); ok {
+			t.Error("take from empty succeeded")
+		}
+	})
+	for i, v := range got {
+		if v != i+1 {
+			t.Errorf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestQueueInterleavedPutTake(t *testing.T) {
+	rt := stm.NewDefault()
+	q := NewQueue[int]()
+	var out []int
+	for i := 0; i < 20; i++ {
+		atomically(t, rt, func(tx *stm.Tx) { q.Put(tx, i) })
+		if i%2 == 1 {
+			atomically(t, rt, func(tx *stm.Tx) {
+				v, _ := q.TryTake(tx)
+				out = append(out, v)
+			})
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Errorf("FIFO order violated: %v", out)
+		}
+	}
+}
+
+func TestQueueTakeBlocks(t *testing.T) {
+	rt := stm.NewDefault()
+	q := NewQueue[string]()
+	got := make(chan string, 1)
+	go func() {
+		var v string
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			v = q.Take(tx)
+			return nil
+		})
+		got <- v
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("Take returned %q from empty queue", v)
+	case <-time.After(20 * time.Millisecond):
+	}
+	atomically(t, rt, func(tx *stm.Tx) { q.Put(tx, "x") })
+	select {
+	case v := <-got:
+		if v != "x" {
+			t.Errorf("got %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Take never woke")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	rt := stm.NewDefault()
+	q := NewQueue[int]()
+	const producers, per = 4, 100
+	total := producers * per
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := p*per + i
+				_ = rt.Atomic(func(tx *stm.Tx) error { q.Put(tx, v); return nil })
+			}
+		}(p)
+	}
+	seen := make([]bool, total)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				var v int
+				var ok bool
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					v, ok = q.TryTake(tx)
+					return nil
+				})
+				if !ok {
+					mu.Lock()
+					n := 0
+					for _, s := range seen {
+						if s {
+							n++
+						}
+					}
+					mu.Unlock()
+					if n == total {
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate element %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	done := make(chan struct{})
+	go func() { cg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("consumers never drained the queue")
+	}
+}
+
+func TestBoundedQueueBasics(t *testing.T) {
+	rt := stm.NewDefault()
+	q := NewBoundedQueue[int](3)
+	if q.Cap() != 3 {
+		t.Errorf("cap = %d", q.Cap())
+	}
+	atomically(t, rt, func(tx *stm.Tx) {
+		for i := 0; i < 3; i++ {
+			if !q.TryPut(tx, i) {
+				t.Fatalf("TryPut %d failed", i)
+			}
+		}
+		if q.TryPut(tx, 99) {
+			t.Error("TryPut succeeded on full queue")
+		}
+		if q.Len(tx) != 3 {
+			t.Errorf("len = %d", q.Len(tx))
+		}
+		for i := 0; i < 3; i++ {
+			v, ok := q.TryTake(tx)
+			if !ok || v != i {
+				t.Errorf("TryTake = %d,%v want %d", v, ok, i)
+			}
+		}
+		if _, ok := q.TryTake(tx); ok {
+			t.Error("TryTake succeeded on empty queue")
+		}
+	})
+}
+
+func TestBoundedQueueMinCapacity(t *testing.T) {
+	q := NewBoundedQueue[int](0)
+	if q.Cap() != 1 {
+		t.Errorf("cap = %d, want 1", q.Cap())
+	}
+}
+
+func TestBoundedQueueBackpressure(t *testing.T) {
+	rt := stm.NewDefault()
+	q := NewBoundedQueue[int](1)
+	atomically(t, rt, func(tx *stm.Tx) { q.Put(tx, 1) })
+	blocked := make(chan struct{})
+	go func() {
+		_ = rt.Atomic(func(tx *stm.Tx) error { q.Put(tx, 2); return nil })
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("Put succeeded on full queue")
+	case <-time.After(20 * time.Millisecond):
+	}
+	var v int
+	atomically(t, rt, func(tx *stm.Tx) { v = q.Take(tx) })
+	if v != 1 {
+		t.Errorf("take = %d", v)
+	}
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put never resumed")
+	}
+}
+
+// TestBoundedQueuePipeline: a classic producer→consumer pipeline through
+// a small ring, all values delivered in order.
+func TestBoundedQueuePipeline(t *testing.T) {
+	rt := stm.NewDefault()
+	q := NewBoundedQueue[int](4)
+	const n = 300
+	var got []int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			var v int
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				v = q.Take(tx)
+				return nil
+			})
+			got = append(got, v)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			q.Put(tx, i)
+			return nil
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pipeline stalled")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d (order broken)", i, v)
+		}
+	}
+}
+
+// Property: queue contents equal the oracle slice under any op sequence.
+func TestQueueOracleProperty(t *testing.T) {
+	rt := stm.NewDefault()
+	f := func(ops []int8) bool {
+		q := NewQueue[int8]()
+		var oracle []int8
+		for _, op := range ops {
+			if op >= 0 {
+				_ = rt.Atomic(func(tx *stm.Tx) error { q.Put(tx, op); return nil })
+				oracle = append(oracle, op)
+			} else {
+				var v int8
+				var ok bool
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					v, ok = q.TryTake(tx)
+					return nil
+				})
+				if len(oracle) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					if !ok || v != oracle[0] {
+						return false
+					}
+					oracle = oracle[1:]
+				}
+			}
+		}
+		var n int
+		_ = rt.Atomic(func(tx *stm.Tx) error { n = q.Len(tx); return nil })
+		return n == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package mempool provides a size-classed buffer pool with transactional
+// deferred reclamation.
+//
+// The paper's Listing 1 keeps a per-transaction tm_free_list: memory freed
+// inside a transaction is not reclaimed at the free call (an aborted
+// transaction must be able to roll back, and concurrent transactions may
+// still be reading it until quiescence), and — the paper's extension —
+// reclamation is delayed "a bit more, until all the deferred operations
+// have completed", because deferred operations may refer to memory the
+// transaction freed.
+//
+// FreeTx implements exactly that pipeline by queuing the reclamation on
+// the transaction: commit → quiesce → deferred operations → reclaim. On
+// abort the queued reclamation is discarded, so the free never happened.
+package mempool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"deferstm/internal/stm"
+)
+
+const (
+	minClassShift = 6  // 64 B
+	maxClassShift = 22 // 4 MiB
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// Pool is a size-classed []byte allocator. Buffers are recycled through
+// per-class free lists. The zero value is ready to use.
+type Pool struct {
+	mu      sync.Mutex
+	classes [numClasses][][]byte
+
+	allocs      atomic.Uint64
+	reuses      atomic.Uint64
+	frees       atomic.Uint64
+	outstanding atomic.Int64
+}
+
+// New returns an empty Pool.
+func New() *Pool { return &Pool{} }
+
+// classFor returns the smallest size class index whose capacity >= n, and
+// that capacity. Requests larger than the largest class are allocated
+// exactly and never recycled (class -1).
+func classFor(n int) (int, int) {
+	if n <= 0 {
+		n = 1
+	}
+	size := 1 << minClassShift
+	for c := 0; c < numClasses; c++ {
+		if n <= size {
+			return c, size
+		}
+		size <<= 1
+	}
+	return -1, n
+}
+
+// Alloc returns a buffer of length n (capacity possibly larger), reusing a
+// previously freed buffer when one is available. The contents are not
+// zeroed for recycled buffers — callers own initialization, as with
+// malloc.
+func (p *Pool) Alloc(n int) []byte {
+	p.allocs.Add(1)
+	p.outstanding.Add(1)
+	c, size := classFor(n)
+	if c >= 0 {
+		p.mu.Lock()
+		if l := len(p.classes[c]); l > 0 {
+			buf := p.classes[c][l-1]
+			p.classes[c] = p.classes[c][:l-1]
+			p.mu.Unlock()
+			p.reuses.Add(1)
+			return buf[:n]
+		}
+		p.mu.Unlock()
+	}
+	return make([]byte, n, size)
+}
+
+// Release returns a buffer to the pool immediately. Use only from
+// non-transactional code that owns the buffer exclusively; transactional
+// code must use FreeTx.
+func (p *Pool) Release(buf []byte) {
+	if buf == nil {
+		return
+	}
+	p.frees.Add(1)
+	p.outstanding.Add(-1)
+	c, size := classFor(cap(buf))
+	if c < 0 || cap(buf) != size {
+		// Oversized or odd-capacity buffer: let the GC have it.
+		// (cap mismatch happens only for buffers not from this pool.)
+		if c >= 0 && cap(buf) >= 1<<minClassShift {
+			// Round down to the class that fits entirely within cap.
+			for c >= 0 && (1<<(minClassShift+c)) > cap(buf) {
+				c--
+			}
+			if c >= 0 {
+				p.mu.Lock()
+				p.classes[c] = append(p.classes[c], buf[:1<<(minClassShift+c)])
+				p.mu.Unlock()
+			}
+		}
+		return
+	}
+	p.mu.Lock()
+	p.classes[c] = append(p.classes[c], buf[:size])
+	p.mu.Unlock()
+}
+
+// FreeTx frees buf as part of transaction tx: the reclamation runs only if
+// tx commits, and only after the runtime has quiesced and all of tx's
+// deferred operations have completed. Until then the buffer remains valid,
+// so deferred operations may safely use memory the transaction logically
+// freed (Listing 1).
+func (p *Pool) FreeTx(tx *stm.Tx, buf []byte) {
+	if buf == nil {
+		return
+	}
+	tx.QueueFree(func() {
+		p.Release(buf)
+		tx.Runtime().Stats().DeferredFrees.Add(1)
+	})
+}
+
+// PoolStats is a snapshot of pool counters.
+type PoolStats struct {
+	Allocs      uint64
+	Reuses      uint64
+	Frees       uint64
+	Outstanding int64 // allocs - frees; >0 means buffers in flight
+}
+
+// Stats returns current counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Allocs:      p.allocs.Load(),
+		Reuses:      p.reuses.Load(),
+		Frees:       p.frees.Load(),
+		Outstanding: p.outstanding.Load(),
+	}
+}
+
+// Cached reports how many buffers are currently parked on free lists.
+func (p *Pool) Cached() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for c := range p.classes {
+		n += len(p.classes[c])
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package simio
+
+import (
+	"deferstm/internal/core"
+	"deferstm/internal/stm"
+)
+
+// TxFile realizes the paper's future-work item of "automatically
+// transforming output operations into deferred operations" (§8): a file
+// wrapper whose write-side methods, called inside a transaction, defer
+// themselves on the file's implicit lock — the programmer writes
+// straight-line code and the runtime moves the I/O after commit. The data
+// to write is captured at call time (it is typically derived from
+// transactional state, like Listing 3's sprintf), and the operations of
+// one transaction run post-commit in program order.
+//
+// Read-side state (the durable length) is exposed transactionally so
+// other transactions can condition on completed output, as in Listing 4.
+type TxFile struct {
+	core.Deferrable
+	f       *File
+	durable stm.Var[int] // bytes known durable, maintained by deferred ops
+	written stm.Var[int] // bytes written (post-deferred), transactional view
+}
+
+// NewTxFile wraps an open file.
+func NewTxFile(f *File) *TxFile { return &TxFile{f: f} }
+
+// File returns the underlying file (for non-transactional use).
+func (t *TxFile) File() *File { return t.f }
+
+// Write schedules an atomically deferred append of data to the file. The
+// call must be made inside tx; the write happens after commit, under the
+// file's lock, in the order Write/Fsync calls were made. data must not be
+// mutated afterwards (copy if unsure).
+func (t *TxFile) Write(tx *stm.Tx, data []byte) {
+	t.Subscribe(tx)
+	core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+		sent := 0
+		for sent < len(data) {
+			n, err := t.f.Write(data[sent:])
+			sent += n
+			if err != nil {
+				if IsTransient(err) {
+					continue
+				}
+				// Fatal output errors after commit cannot abort the
+				// transaction (paper §7); record what we know and stop.
+				core.Store(ctx, &t.written, t.written.Load()+sent)
+				return
+			}
+		}
+		core.Store(ctx, &t.written, t.written.Load()+sent)
+	}, t)
+}
+
+// Fsync schedules an atomically deferred fsync. Transactions that later
+// observe Durable() covering their data know it reached the disk.
+func (t *TxFile) Fsync(tx *stm.Tx) {
+	t.Subscribe(tx)
+	core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+		if err := t.f.Fsync(); err != nil {
+			return
+		}
+		core.Store(ctx, &t.durable, t.written.Load())
+	}, t)
+}
+
+// Durable returns, inside tx, how many bytes are known durable. Because
+// the value is only advanced by deferred operations holding the file's
+// lock, a subscribing reader blocks while output is in flight and
+// otherwise sees a completed state — the Listing 4 ordering pattern
+// without hand-rolled flag objects.
+func (t *TxFile) Durable(tx *stm.Tx) int {
+	t.Subscribe(tx)
+	return t.durable.Get(tx)
+}
+
+// Written returns, inside tx, how many bytes have been written by
+// completed deferred operations.
+func (t *TxFile) Written(tx *stm.Tx) int {
+	t.Subscribe(tx)
+	return t.written.Get(tx)
+}

@@ -1,0 +1,367 @@
+package stm
+
+import "runtime"
+
+// Atomic executes fn as a transaction and blocks until it commits or fn
+// returns a non-nil error (which aborts the transaction and is returned).
+// fn may be executed multiple times; it must be safe to re-execute and must
+// confine its side effects to Vars, AfterCommit hooks, and QueueFree
+// actions, all of which are discarded on abort.
+//
+// The transaction is assigned a fresh lock-owner identity; use AtomicAs to
+// supply one (e.g. to reenter transaction-friendly locks held across
+// transactions).
+//
+// Do not call Atomic from inside a transaction on the same goroutine: a
+// nested writer's commit would quiesce waiting for the enclosing
+// transaction and deadlock. Use (*Tx).Nested for flat nesting, exactly as
+// C++ TM flattens nested atomic blocks.
+func (rt *Runtime) Atomic(fn func(tx *Tx) error) error {
+	return rt.run(rt.NewOwner(), fn, false)
+}
+
+// AtomicAs is Atomic with an explicit lock-owner identity.
+func (rt *Runtime) AtomicAs(owner OwnerID, fn func(tx *Tx) error) error {
+	return rt.run(owner, fn, false)
+}
+
+// AtomicSerial executes fn as a serial (irrevocable) transaction: it waits
+// for every in-flight transaction to finish, blocks new ones from starting,
+// and then runs alone. This models a C++ TM `synchronized` block that the
+// runtime knows will perform an unsafe operation — per the paper's Section
+// 6.1, GCC "serializes early and avoids instrumentation" for these. fn may
+// safely perform I/O and other irrevocable actions. It still executes at
+// most once per call: a non-nil error aborts (buffered writes are
+// discarded) and is returned.
+func (rt *Runtime) AtomicSerial(fn func(tx *Tx) error) error {
+	return rt.run(rt.NewOwner(), fn, true)
+}
+
+// AtomicSerialAs is AtomicSerial with an explicit lock-owner identity.
+func (rt *Runtime) AtomicSerialAs(owner OwnerID, fn func(tx *Tx) error) error {
+	return rt.run(owner, fn, true)
+}
+
+func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) error {
+	tx := rt.txPool.Get().(*Tx)
+	tx.owner = owner
+	tx.attempts = 0
+	serialNext := startSerial
+
+	for {
+		tx.attempts++
+		rt.stats.Starts.Add(1)
+
+		var outcome txOutcome
+		if serialNext {
+			outcome = rt.runSerial(tx, fn)
+		} else {
+			outcome = rt.runOptimistic(tx, fn)
+		}
+
+		if outcome.committed || outcome.userErr != nil {
+			if outcome.userErr != nil {
+				rt.stats.UserAborts.Add(1)
+				tx.reset()
+				rt.txPool.Put(tx)
+				return outcome.userErr
+			}
+			// Post-commit pipeline (Listing 1's TxEnd tail): move the
+			// deferred operations and the free list into locals, reset
+			// the descriptor so hooks can start fresh transactions,
+			// then run hooks in order, then reclaim.
+			hooks := tx.hooks
+			frees := tx.frees
+			tx.hooks, tx.frees = nil, nil
+			tx.reset()
+			rt.txPool.Put(tx)
+			rt.stats.Commits.Add(1)
+			for _, h := range hooks {
+				h()
+			}
+			for _, f := range frees {
+				f()
+			}
+			return nil
+		}
+
+		// Aborted: decide what to do before re-executing.
+		switch outcome.sig.reason {
+		case abortExplicitRetry:
+			rt.waitForReadSetChange(tx)
+			serialNext = false // a serial Retry re-runs optimistically
+			tx.attempts = 0    // condition waits don't count as contention
+		case abortEscalate:
+			serialNext = true
+			rt.stats.Serializations.Add(1)
+		default: // conflict, capacity, syscall
+			if tx.attempts >= rt.cfg.SerializeAfter {
+				serialNext = true
+				rt.stats.Serializations.Add(1)
+			} else {
+				tx.backoff()
+			}
+		}
+		tx.reset()
+	}
+}
+
+type txOutcome struct {
+	committed bool
+	userErr   error
+	sig       txSignal
+}
+
+// runOptimistic executes one attempt on the speculative (STM or simulated
+// HTM) path.
+func (rt *Runtime) runOptimistic(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
+	idx, rv := rt.beginSlot()
+	tx.rv = rv
+	tx.slotIdx = idx
+	tx.active = true
+	tx.htm = rt.cfg.Mode == ModeHTM
+
+	defer func() {
+		tx.active = false
+		if r := recover(); r != nil {
+			rt.releaseSlot(idx)
+			if sig, ok := r.(txSignal); ok {
+				out = txOutcome{sig: sig}
+				return
+			}
+			// A user panic escaped the transaction: clean up runtime
+			// state and propagate.
+			tx.reset()
+			panic(r)
+		}
+	}()
+
+	err := fn(tx)
+	if err != nil {
+		rt.releaseSlot(idx)
+		return txOutcome{userErr: err}
+	}
+
+	wv, ok := tx.commitWriteBack()
+	if !ok {
+		rt.releaseSlot(idx)
+		rt.stats.AbortsConflict.Add(1)
+		return txOutcome{sig: txSignal{abortConflict}}
+	}
+	tx.active = false
+
+	// Deregister before quiescing: once published we read nothing more,
+	// and two concurrent committers must not wait on each other's slots.
+	rt.releaseSlot(idx)
+	if wv != 0 {
+		rt.notifyCommit()
+		// Hardware TM commits atomically in the cache hierarchy and is
+		// privatization-safe; only the software path quiesces
+		// (Listing 1: "STM-only: ensure transaction finishes before λs
+		// run").
+		if !tx.htm {
+			rt.quiesce(wv, -1)
+		}
+	}
+	return txOutcome{committed: true}
+}
+
+// beginSlot registers the beginning transaction in the active registry and
+// returns (slot index, read version). The read version is sampled
+// immediately before activation so quiescing writers never miss us.
+func (rt *Runtime) beginSlot() (int, uint64) {
+	rv := rt.clock.Load()
+	idx := rt.acquireSlot(rv)
+	return idx, rv
+}
+
+// commitWriteBack performs TL2 commit: lock the write set in global (var
+// ID) order, increment the clock, validate the read set, publish, release.
+// It returns the write version (0 for read-only transactions) and whether
+// the commit succeeded.
+func (tx *Tx) commitWriteBack() (uint64, bool) {
+	if len(tx.writes) == 0 {
+		// Read-only: reads were validated incrementally (opacity), so
+		// the transaction is serializable at its read version. If it
+		// queued hooks or frees, the caller still quiesces at the
+		// current clock so those run after all concurrent readers of
+		// pre-commit state are done.
+		if len(tx.hooks) != 0 || len(tx.frees) != 0 {
+			return tx.rt.clock.Load(), true
+		}
+		return 0, true
+	}
+
+	tx.sortWrites()
+	acquired := 0
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		w := e.m.lock.Load()
+		if wordLocked(w) || !e.m.lock.CompareAndSwap(w, w|lockedBit) {
+			tx.releaseLocks(acquired, 0)
+			return 0, false
+		}
+		e.prevW = w
+		e.m.owner.Store(tx)
+		acquired++
+	}
+
+	wv := tx.rt.clock.Add(1)
+
+	// TL2 fast path: if nothing committed between our begin and our
+	// clock increment, the read set cannot have changed.
+	if wv != tx.rv+1 && !tx.validateReads() {
+		tx.releaseLocks(acquired, 0)
+		return 0, false
+	}
+
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.v.publish(e.pending)
+		e.m.owner.Store(nil)
+		e.m.lock.Store(packVersion(wv))
+	}
+	return wv, true
+}
+
+// releaseLocks rolls back the first n acquired commit locks. If wv is
+// nonzero the locks are released at that version (successful path);
+// otherwise the pre-lock word is restored (abort path).
+func (tx *Tx) releaseLocks(n int, wv uint64) {
+	for i := 0; i < n; i++ {
+		e := &tx.writes[i]
+		e.m.owner.Store(nil)
+		if wv != 0 {
+			e.m.lock.Store(packVersion(wv))
+		} else {
+			e.m.lock.Store(e.prevW)
+		}
+	}
+}
+
+// runSerial executes one attempt in serial (irrevocable) mode: drain every
+// concurrent transaction, run alone, publish without validation.
+func (rt *Runtime) runSerial(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
+	rt.serialMu.Lock()
+	blocked := make(chan struct{})
+	rt.serialClear.Store(&blocked)
+	rt.serialWant.Add(1)
+	// Drain: wait until no optimistic transaction is active. New ones are
+	// held at beginSlot by serialWant (they block on the serialClear
+	// channel, which we close on release).
+	for i := range rt.slots {
+		spins := 0
+		for rt.slots[i].isActive() {
+			waitSpin(&spins)
+		}
+	}
+	rt.stats.SerialRuns.Add(1)
+
+	tx.rv = rt.clock.Load()
+	tx.slotIdx = -1
+	tx.serial = true
+	tx.htm = false
+	tx.active = true
+
+	release := func() {
+		rt.serialWant.Add(-1)
+		close(blocked)
+		rt.serialMu.Unlock()
+	}
+
+	defer func() {
+		tx.active = false
+		if r := recover(); r != nil {
+			release()
+			if sig, ok := r.(txSignal); ok {
+				// Only Retry can fire in serial mode (capacity and
+				// conflict cannot). The gate is released before the
+				// caller blocks, so other transactions can commit
+				// and wake it.
+				out = txOutcome{sig: sig}
+				return
+			}
+			tx.reset()
+			panic(r)
+		}
+	}()
+
+	err := fn(tx)
+	if err != nil {
+		release()
+		return txOutcome{userErr: err}
+	}
+
+	if len(tx.writes) > 0 {
+		wv := tx.rt.clock.Add(1)
+		for i := range tx.writes {
+			e := &tx.writes[i]
+			e.v.publish(e.pending)
+			e.m.lock.Store(packVersion(wv))
+		}
+	}
+	tx.active = false
+	release()
+	rt.notifyCommit()
+	// No quiesce: nothing else was running.
+	return txOutcome{committed: true}
+}
+
+// waitForReadSetChange blocks the calling goroutine until some location in
+// tx's (pre-abort) read set has been committed to, implementing retry. An
+// empty read set returns immediately (the transaction re-executes; as in
+// the paper's runtime, a retry that read nothing can only spin).
+func (rt *Runtime) waitForReadSetChange(tx *Tx) {
+	if len(tx.reads) == 0 {
+		runtime.Gosched()
+		return
+	}
+	if rt.cfg.SpinRetry {
+		// The paper's implementation: abort and immediately re-check,
+		// burning CPU (Section 6.1 measures this overhead).
+		for !tx.readSetChanged() {
+			runtime.Gosched()
+		}
+		return
+	}
+	rt.retryWaiters.Add(1)
+	defer rt.retryWaiters.Add(-1)
+	for {
+		ch := *rt.retryCh.Load()
+		if tx.readSetChanged() {
+			return
+		}
+		<-ch
+	}
+}
+
+func (tx *Tx) readSetChanged() bool {
+	for i := range tx.reads {
+		e := &tx.reads[i]
+		if e.m.lock.Load() != e.ver {
+			return true
+		}
+	}
+	return false
+}
+
+// backoff performs randomized exponential backoff proportional to the
+// number of failed attempts.
+func (tx *Tx) backoff() {
+	shift := tx.attempts
+	if shift > 14 {
+		shift = 14
+	}
+	max := uint64(1) << shift
+	if m := uint64(tx.rt.cfg.BackoffMaxSpins); max > m {
+		max = m
+	}
+	n := tx.nextRand() % (max + 1)
+	for i := uint64(0); i < n; i++ {
+		if i%64 == 63 {
+			runtime.Gosched()
+		} else {
+			spinPause()
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package stm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStateIdle(t *testing.T) {
+	rt := NewDefault()
+	st := rt.State()
+	if st.ActiveTxs != 0 || st.SerialPending || st.RetryWaiters != 0 {
+		t.Errorf("idle state = %+v", st)
+	}
+	if st.SerializeAfter != 100 || st.Mode != ModeSTM {
+		t.Errorf("config fields = %+v", st)
+	}
+}
+
+func TestStateSeesActiveTransaction(t *testing.T) {
+	rt := NewDefault()
+	v := NewVar(0)
+	inTx := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = rt.Atomic(func(tx *Tx) error {
+			_ = v.Get(tx)
+			once.Do(func() { close(inTx) })
+			<-release
+			return nil
+		})
+	}()
+	<-inTx
+	st := rt.State()
+	if st.ActiveTxs != 1 {
+		t.Errorf("activeTxs = %d, want 1", st.ActiveTxs)
+	}
+	if len(st.ActiveRVs) != 1 {
+		t.Errorf("activeRVs = %v", st.ActiveRVs)
+	}
+	close(release)
+	<-done
+}
+
+func TestStateSeesRetryWaiter(t *testing.T) {
+	rt := NewDefault()
+	flag := NewVar(false)
+	go func() {
+		_ = rt.Atomic(func(tx *Tx) error {
+			if !flag.Get(tx) {
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.State().RetryWaiters == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("retry waiter never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Release the waiter so the runtime winds down cleanly.
+	_ = rt.Atomic(func(tx *Tx) error {
+		flag.Set(tx, true)
+		return nil
+	})
+}
+
+func TestDumpState(t *testing.T) {
+	rt := NewDefault()
+	v := NewVar(1)
+	_ = rt.Atomic(func(tx *Tx) error {
+		v.Set(tx, 2)
+		return nil
+	})
+	var sb strings.Builder
+	rt.DumpState(&sb)
+	out := sb.String()
+	for _, want := range []string{"mode=STM", "clock=", "commits=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestActiveRVsSorted(t *testing.T) {
+	rt := NewDefault()
+	const n = 4
+	var once [n]sync.Once
+	inTx := make(chan struct{}, n)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := NewVar(0)
+			_ = rt.Atomic(func(tx *Tx) error {
+				_ = v.Get(tx)
+				once[i].Do(func() { inTx <- struct{}{} })
+				<-release
+				return nil
+			})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-inTx
+	}
+	st := rt.State()
+	for i := 1; i < len(st.ActiveRVs); i++ {
+		if st.ActiveRVs[i] < st.ActiveRVs[i-1] {
+			t.Errorf("ActiveRVs not sorted: %v", st.ActiveRVs)
+		}
+	}
+	close(release)
+	wg.Wait()
+}

@@ -1,0 +1,195 @@
+package stm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a sequence of single-threaded transactions over a small var
+// array behaves exactly like direct assignment (sequential oracle).
+func TestSequentialOracleProperty(t *testing.T) {
+	rt := NewDefault()
+	f := func(ops []uint16) bool {
+		const nVars = 8
+		vars := make([]*Var[int], nVars)
+		oracle := make([]int, nVars)
+		for i := range vars {
+			vars[i] = NewVar(0)
+		}
+		for _, op := range ops {
+			src := int(op) % nVars
+			dst := int(op>>4) % nVars
+			delta := int(op>>8)%64 - 32
+			err := rt.Atomic(func(tx *Tx) error {
+				v := vars[src].Get(tx)
+				vars[dst].Set(tx, v+delta)
+				return nil
+			})
+			if err != nil {
+				return false
+			}
+			oracle[dst] = oracle[src] + delta
+		}
+		for i := range vars {
+			if vars[i].Load() != oracle[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concurrent random increments across a random number of
+// counters always sum to the number of increments (atomicity under
+// contention, for both STM and simulated HTM).
+func TestConcurrentSumProperty(t *testing.T) {
+	for _, mode := range []Mode{ModeSTM, ModeHTM} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			f := func(nVarsRaw, nWorkersRaw uint8, perWorkerRaw uint16) bool {
+				nVars := int(nVarsRaw)%6 + 1
+				nWorkers := int(nWorkersRaw)%6 + 1
+				per := int(perWorkerRaw)%100 + 1
+				rt := New(Config{Mode: mode})
+				vars := make([]*Var[int], nVars)
+				for i := range vars {
+					vars[i] = NewVar(0)
+				}
+				var wg sync.WaitGroup
+				for w := 0; w < nWorkers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for i := 0; i < per; i++ {
+							idx := (w + i) % nVars
+							_ = rt.Atomic(func(tx *Tx) error {
+								vars[idx].Set(tx, vars[idx].Get(tx)+1)
+								return nil
+							})
+						}
+					}(w)
+				}
+				wg.Wait()
+				total := 0
+				for _, v := range vars {
+					total += v.Load()
+				}
+				return total == nWorkers*per
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property: transactional swaps of adjacent pairs preserve the multiset
+// of values under concurrency (no lost or duplicated values).
+func TestSwapMultisetProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		const n = 10
+		rt := NewDefault()
+		vars := make([]*Var[int], n)
+		for i := range vars {
+			vars[i] = NewVar(i)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := uint64(seed) + uint64(w)*977 + 1
+				for i := 0; i < 150; i++ {
+					rng ^= rng << 13
+					rng ^= rng >> 7
+					rng ^= rng << 17
+					a := int(rng % n)
+					b := (a + 1) % n
+					_ = rt.Atomic(func(tx *Tx) error {
+						x, y := vars[a].Get(tx), vars[b].Get(tx)
+						vars[a].Set(tx, y)
+						vars[b].Set(tx, x)
+						return nil
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
+		seen := make([]bool, n)
+		for _, v := range vars {
+			x := v.Load()
+			if x < 0 || x >= n || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: read-only transactions always observe a consistent snapshot
+// (the parity invariant x == y is maintained by writers; readers must
+// never see it broken), across random writer counts.
+func TestSnapshotConsistencyProperty(t *testing.T) {
+	f := func(nWritersRaw uint8) bool {
+		nWriters := int(nWritersRaw)%4 + 1
+		rt := NewDefault()
+		x := NewVar(0)
+		y := NewVar(0)
+		bad := false
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					var a, b int
+					_ = rt.Atomic(func(tx *Tx) error {
+						a = x.Get(tx)
+						b = y.Get(tx)
+						return nil
+					})
+					if a != b {
+						bad = true
+						return
+					}
+				}
+			}()
+		}
+		var writers sync.WaitGroup
+		for w := 0; w < nWriters; w++ {
+			writers.Add(1)
+			go func() {
+				defer writers.Done()
+				for i := 0; i < 100; i++ {
+					_ = rt.Atomic(func(tx *Tx) error {
+						v := x.Get(tx) + 1
+						x.Set(tx, v)
+						y.Set(tx, v)
+						return nil
+					})
+				}
+			}()
+		}
+		writers.Wait()
+		close(stop)
+		wg.Wait()
+		return !bad && x.Load() == y.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

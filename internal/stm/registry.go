@@ -1,0 +1,119 @@
+package stm
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// slot is one entry of the active-transaction registry. Its word packs
+// (readVersion << 1) | active. Slots are cache-line padded: quiescence
+// scans them constantly and begin/end updates them on every transaction.
+type slot struct {
+	word atomic.Uint64
+	_    [7]uint64 // pad to 64 bytes
+}
+
+func (s *slot) activate(rv uint64) { s.word.Store(rv<<1 | 1) }
+func (s *slot) setRV(rv uint64)    { s.word.Store(rv<<1 | 1) }
+func (s *slot) deactivate()        { s.word.Store(0) }
+func (s *slot) activeBefore(v uint64) bool {
+	w := s.word.Load()
+	return w&1 == 1 && w>>1 < v
+}
+func (s *slot) isActive() bool { return s.word.Load()&1 == 1 }
+
+// acquireSlot claims a free registry slot for a beginning transaction,
+// blocking while a serial transaction wants or holds exclusivity. It
+// returns the slot index.
+func (rt *Runtime) acquireSlot(rv uint64) int {
+	n := len(rt.slots)
+	start := int(rt.slotHint.Add(1)) % n
+	spins := 0
+	for {
+		if rt.serialWant.Load() != 0 {
+			// Block until the serial transaction releases exclusivity
+			// (event-driven: the gate closes serialClear on release).
+			ch := *rt.serialClear.Load()
+			if rt.serialWant.Load() != 0 {
+				<-ch
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			idx := (start + i) % n
+			s := &rt.slots[idx]
+			if s.word.Load() == 0 && s.word.CompareAndSwap(0, rv<<1|1) {
+				// Re-check the serial gate: a serial transaction
+				// may have begun draining between our check and
+				// the CAS. If so, back out and wait, otherwise a
+				// drain could miss us or we could run alongside a
+				// serial transaction.
+				if rt.serialWant.Load() != 0 {
+					s.deactivate()
+					break
+				}
+				return idx
+			}
+		}
+		waitSpin(&spins)
+	}
+}
+
+func (rt *Runtime) releaseSlot(idx int) {
+	rt.slots[idx].deactivate()
+}
+
+// quiesce blocks until every transaction that began before version wv has
+// completed (committed or aborted, including cleanup). It implements the
+// privatization-safety wait of the paper's Section 2: a committed writer
+// may have privatized memory, so it must not proceed — and in particular
+// must not run deferred operations or reclaim memory — until no concurrent
+// transaction can still be reading pre-commit state.
+//
+// selfIdx is the committer's own slot (skipped); pass -1 if none.
+func (rt *Runtime) quiesce(wv uint64, selfIdx int) {
+	if rt.cfg.DisableQuiescence {
+		return
+	}
+	start := time.Now()
+	waited := false
+	for i := range rt.slots {
+		if i == selfIdx {
+			continue
+		}
+		s := &rt.slots[i]
+		spins := 0
+		for s.activeBefore(wv) {
+			waited = true
+			waitSpin(&spins)
+		}
+	}
+	if waited {
+		rt.stats.QuiesceWaits.Add(1)
+		rt.stats.QuiesceNanos.Add(uint64(time.Since(start).Nanoseconds()))
+	}
+}
+
+// waitSpin implements a progressive wait: spin briefly, then yield, then
+// sleep. Used for quiescence, serial draining, and slot acquisition.
+func waitSpin(spins *int) {
+	*spins++
+	switch {
+	case *spins < 64:
+		spinPause()
+	case *spins < 256:
+		runtime.Gosched()
+	default:
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// spinPause is a short busy pause (a stand-in for the PAUSE instruction).
+//
+//go:noinline
+func spinPause() {
+	for i := 0; i < 8; i++ {
+		_ = i
+	}
+}

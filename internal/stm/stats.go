@@ -1,0 +1,105 @@
+package stm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats holds the runtime's monotonic event counters. All fields are
+// updated atomically; Snapshot produces a consistent-enough copy for
+// reporting (individual counters are exact; cross-counter skew is bounded
+// by in-flight transactions).
+type Stats struct {
+	Starts         atomic.Uint64 // transaction attempts begun
+	Commits        atomic.Uint64 // top-level commits (incl. serial)
+	UserAborts     atomic.Uint64 // fn returned a non-nil error
+	AbortsConflict atomic.Uint64 // validation / lock-acquire conflicts
+	AbortsCapacity atomic.Uint64 // simulated HTM footprint overflow
+	AbortsSyscall  atomic.Uint64 // irrevocability requested under HTM
+	Retries        atomic.Uint64 // explicit Retry calls (condition sync)
+	Extensions     atomic.Uint64 // successful read-version extensions
+	Serializations atomic.Uint64 // escalations to serial mode
+	SerialRuns     atomic.Uint64 // serial-mode executions (incl. AtomicSerial)
+	QuiesceWaits   atomic.Uint64 // quiesce calls that actually waited
+	QuiesceNanos   atomic.Uint64 // total nanoseconds spent waiting in quiesce
+	DeferredOps    atomic.Uint64 // AfterCommit hooks executed (set by core)
+	DeferredFrees  atomic.Uint64 // QueueFree actions executed (set by mempool)
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Starts         uint64
+	Commits        uint64
+	UserAborts     uint64
+	AbortsConflict uint64
+	AbortsCapacity uint64
+	AbortsSyscall  uint64
+	Retries        uint64
+	Extensions     uint64
+	Serializations uint64
+	SerialRuns     uint64
+	QuiesceWaits   uint64
+	QuiesceNanos   uint64
+	DeferredOps    uint64
+	DeferredFrees  uint64
+}
+
+// Stats returns a pointer to the live counters (for incrementing by
+// cooperating packages such as core and mempool).
+func (rt *Runtime) Stats() *Stats { return &rt.stats }
+
+// Snapshot copies the current counter values.
+func (rt *Runtime) Snapshot() StatsSnapshot {
+	s := &rt.stats
+	return StatsSnapshot{
+		Starts:         s.Starts.Load(),
+		Commits:        s.Commits.Load(),
+		UserAborts:     s.UserAborts.Load(),
+		AbortsConflict: s.AbortsConflict.Load(),
+		AbortsCapacity: s.AbortsCapacity.Load(),
+		AbortsSyscall:  s.AbortsSyscall.Load(),
+		Retries:        s.Retries.Load(),
+		Extensions:     s.Extensions.Load(),
+		Serializations: s.Serializations.Load(),
+		SerialRuns:     s.SerialRuns.Load(),
+		QuiesceWaits:   s.QuiesceWaits.Load(),
+		QuiesceNanos:   s.QuiesceNanos.Load(),
+		DeferredOps:    s.DeferredOps.Load(),
+		DeferredFrees:  s.DeferredFrees.Load(),
+	}
+}
+
+// Sub returns the per-field difference s - old (for measuring an interval).
+func (s StatsSnapshot) Sub(old StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Starts:         s.Starts - old.Starts,
+		Commits:        s.Commits - old.Commits,
+		UserAborts:     s.UserAborts - old.UserAborts,
+		AbortsConflict: s.AbortsConflict - old.AbortsConflict,
+		AbortsCapacity: s.AbortsCapacity - old.AbortsCapacity,
+		AbortsSyscall:  s.AbortsSyscall - old.AbortsSyscall,
+		Retries:        s.Retries - old.Retries,
+		Extensions:     s.Extensions - old.Extensions,
+		Serializations: s.Serializations - old.Serializations,
+		SerialRuns:     s.SerialRuns - old.SerialRuns,
+		QuiesceWaits:   s.QuiesceWaits - old.QuiesceWaits,
+		QuiesceNanos:   s.QuiesceNanos - old.QuiesceNanos,
+		DeferredOps:    s.DeferredOps - old.DeferredOps,
+		DeferredFrees:  s.DeferredFrees - old.DeferredFrees,
+	}
+}
+
+// Aborts returns the total number of aborted attempts of all kinds
+// (excluding user aborts, which are final).
+func (s StatsSnapshot) Aborts() uint64 {
+	return s.AbortsConflict + s.AbortsCapacity + s.AbortsSyscall
+}
+
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf(
+		"commits=%d aborts(conflict=%d capacity=%d syscall=%d) retries=%d serializations=%d serialRuns=%d quiesce(waits=%d ms=%.1f) deferred(ops=%d frees=%d)",
+		s.Commits, s.AbortsConflict, s.AbortsCapacity, s.AbortsSyscall,
+		s.Retries, s.Serializations, s.SerialRuns,
+		s.QuiesceWaits, float64(s.QuiesceNanos)/1e6,
+		s.DeferredOps, s.DeferredFrees)
+}

@@ -1,0 +1,231 @@
+// Package stm implements a software transactional memory runtime in the
+// style of TL2 (Dice, Shalev, Shavit), extended with the machinery the
+// atomic-deferral paper (Zhou, Luchangco, Spear; SPAA/OPODIS 2017) requires:
+//
+//   - transactional variables (Var[T]) protected by versioned locks,
+//   - a global version clock with timestamp extension,
+//   - retry-based condition synchronization (Harris et al.),
+//   - irrevocability via a serial mode that drains all concurrent
+//     transactions (GCC libitm's "serial" method group),
+//   - a contention manager that escalates to serial mode after repeated
+//     aborts (default 100 attempts for STM, 2 for HTM, the GCC defaults
+//     quoted in the paper's Section 2),
+//   - privatization-safe quiescence: after every writing commit the
+//     committer waits until all transactions that began before its commit
+//     have completed (committed or aborted),
+//   - an ordered post-commit hook pipeline (used by package core to run
+//     atomically deferred operations after quiescence), followed by
+//     deferred memory reclamation (the tm_free_list of the paper's
+//     Listing 1),
+//   - a simulated best-effort hardware TM mode (ModeHTM) with capacity
+//     aborts and no in-transaction irrevocability, modelling Intel TSX as
+//     driven by GCC's HTM fast path.
+//
+// The runtime is explicit rather than compiler-driven: transactional data
+// lives in Var[T] cells and transactions run as closures passed to
+// (*Runtime).Atomic. This preserves every algorithmic effect the paper
+// measures (conflict aborts, serialization stalls, quiescence stalls, lock
+// subscription) without compiler instrumentation.
+package stm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode selects the execution engine for transactions started on a Runtime.
+type Mode int
+
+const (
+	// ModeSTM is the software path: TL2 validation, quiescence after
+	// writer commits, serialization after Config.SerializeAfter failed
+	// attempts (default 100).
+	ModeSTM Mode = iota
+	// ModeHTM simulates a best-effort hardware TM: transactions abort
+	// when their simulated cache footprint exceeds the configured
+	// capacity or when they request irrevocability, and fall back to the
+	// serial path after Config.SerializeAfter failed attempts (default
+	// 2). Committed HTM transactions do not quiesce: hardware TM is
+	// privatization-safe.
+	ModeHTM
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSTM:
+		return "STM"
+	case ModeHTM:
+		return "HTM"
+	default:
+		return "Mode(?)"
+	}
+}
+
+// Default capacity limits for the simulated HTM, expressed in 64-byte
+// cache lines. They approximate a TSX-era core: writes are bounded by the
+// L1 data cache (32 KiB, 512 lines) and reads by a larger tracking
+// structure.
+const (
+	DefaultHTMWriteLines = 512
+	DefaultHTMReadLines  = 4096
+)
+
+// Config parameterizes a Runtime. The zero value is a usable STM
+// configuration.
+type Config struct {
+	// Mode selects STM or simulated HTM execution.
+	Mode Mode
+
+	// MaxThreads bounds the number of concurrently executing
+	// transactions (the size of the active-transaction registry used for
+	// quiescence and serial-mode draining). 0 means 4 * GOMAXPROCS,
+	// with a floor of 64.
+	MaxThreads int
+
+	// SerializeAfter is the number of failed attempts after which the
+	// contention manager escalates a transaction to serial (irrevocable)
+	// mode. 0 selects the GCC default for the mode: 100 for STM, 2 for
+	// HTM.
+	SerializeAfter int
+
+	// SpinRetry selects the paper's retry implementation, which aborts
+	// and immediately re-executes (burning CPU) instead of blocking
+	// until a commit changes the read set. The paper's Section 6.1
+	// attributes part of the defer overhead to exactly this; the
+	// blocking implementation is the default, and ablation A3 compares
+	// the two.
+	SpinRetry bool
+
+	// HTMReadLines and HTMWriteLines bound the simulated HTM footprint,
+	// in cache lines. 0 selects the defaults above. Ignored in ModeSTM.
+	HTMReadLines  int
+	HTMWriteLines int
+
+	// BackoffMaxSpins caps the contention manager's randomized
+	// exponential backoff, in busy-wait iterations. 0 means 1 << 14.
+	BackoffMaxSpins int
+
+	// DisableQuiescence turns off post-commit quiescence. Real STMs
+	// cannot do this safely (it is what makes privatization sound); it
+	// exists for the Figure 1 ablation that measures how much of the
+	// baseline's stall is quiescence.
+	DisableQuiescence bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 4 * runtime.GOMAXPROCS(0)
+		if c.MaxThreads < 64 {
+			c.MaxThreads = 64
+		}
+	}
+	if c.SerializeAfter <= 0 {
+		if c.Mode == ModeHTM {
+			c.SerializeAfter = 2
+		} else {
+			c.SerializeAfter = 100
+		}
+	}
+	if c.HTMReadLines <= 0 {
+		c.HTMReadLines = DefaultHTMReadLines
+	}
+	if c.HTMWriteLines <= 0 {
+		c.HTMWriteLines = DefaultHTMWriteLines
+	}
+	if c.BackoffMaxSpins <= 0 {
+		c.BackoffMaxSpins = 1 << 14
+	}
+	return c
+}
+
+// OwnerID identifies a lock-owning agent to transaction-friendly locks
+// (package txlock). Each top-level Atomic execution is assigned a fresh
+// OwnerID unless it inherits one via AtomicAs; deferred operations inherit
+// the OwnerID of their deferring transaction so that reentrant lock
+// acquisition works across the commit boundary, exactly as thread identity
+// does in the paper's C++ runtime.
+//
+// The zero OwnerID means "nobody" and is never assigned.
+type OwnerID uint64
+
+// Runtime is a transactional memory domain: a global version clock, an
+// active-transaction registry, a serial-mode gate, and statistics. Vars are
+// not bound to a Runtime, but all transactions that access a given Var must
+// run on the same Runtime for conflict detection and quiescence to be
+// meaningful.
+type Runtime struct {
+	cfg Config
+
+	clock atomic.Uint64 // global version clock (TL2)
+
+	slots    []slot // active-transaction registry (quiescence, draining)
+	slotHint atomic.Uint64
+
+	serialMu   sync.Mutex   // serializes serial-mode transactions
+	serialWant atomic.Int32 // >0: a serial transaction is pending/running
+	// serialClear is closed when serialWant drops to zero, so blocked
+	// transaction begins wake immediately instead of polling.
+	serialClear atomic.Pointer[chan struct{}]
+
+	// retry support: a channel that is closed (and replaced) on every
+	// writer commit, so blocked retry waiters can recheck their read
+	// sets.
+	retryCh      atomic.Pointer[chan struct{}]
+	retryWaiters atomic.Int64
+
+	ownerCtr atomic.Uint64
+
+	txPool sync.Pool
+
+	stats Stats
+}
+
+// New creates a Runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:   cfg,
+		slots: make([]slot, cfg.MaxThreads),
+	}
+	ch := make(chan struct{})
+	rt.retryCh.Store(&ch)
+	sc := make(chan struct{})
+	close(sc) // initially clear: no serial transaction pending
+	rt.serialClear.Store(&sc)
+	rt.txPool.New = func() any { return newTx(rt) }
+	return rt
+}
+
+// NewDefault creates an STM Runtime with default configuration.
+func NewDefault() *Runtime { return New(Config{}) }
+
+// Config returns the (defaulted) configuration the Runtime was built with.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Mode reports the runtime's execution mode.
+func (rt *Runtime) Mode() Mode { return rt.cfg.Mode }
+
+// NewOwner allocates a fresh lock-owner identity. Use this when a
+// transaction-friendly lock must be held across multiple transactions by
+// the same logical thread (e.g. acquire in one transaction, release in a
+// later one).
+func (rt *Runtime) NewOwner() OwnerID {
+	return OwnerID(rt.ownerCtr.Add(1))
+}
+
+// GlobalClock returns the current value of the global version clock.
+// It is exported for tests and diagnostics.
+func (rt *Runtime) GlobalClock() uint64 { return rt.clock.Load() }
+
+// notifyCommit wakes any transactions blocked in retry-wait. It is called
+// after a writer commit has published its updates. The swap-and-close
+// scheme costs one allocation per commit, but only when waiters exist.
+func (rt *Runtime) notifyCommit() {
+	if rt.retryWaiters.Load() == 0 {
+		return
+	}
+	next := make(chan struct{})
+	old := rt.retryCh.Swap(&next)
+	close(*old)
+}

@@ -1,0 +1,307 @@
+package stm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// abortReason classifies why an attempt failed; it feeds the contention
+// manager and the statistics counters.
+type abortReason int
+
+const (
+	abortNone          abortReason = iota
+	abortConflict                  // read/validation/lock-acquire conflict
+	abortCapacity                  // simulated HTM footprint overflow
+	abortSyscall                   // irrevocability requested under HTM
+	abortExplicitRetry             // user called Retry (condition sync)
+	abortEscalate                  // user called Irrevocable under STM
+)
+
+func (r abortReason) String() string {
+	switch r {
+	case abortConflict:
+		return "conflict"
+	case abortCapacity:
+		return "capacity"
+	case abortSyscall:
+		return "syscall"
+	case abortExplicitRetry:
+		return "retry"
+	case abortEscalate:
+		return "escalate"
+	default:
+		return "none"
+	}
+}
+
+// txSignal is the panic payload used for internal control flow (abort,
+// retry, escalation). Atomic recovers it; any other panic propagates.
+type txSignal struct {
+	reason abortReason
+}
+
+type readEntry struct {
+	m   *varMeta
+	ver uint64 // raw lock word observed (unlocked, so even)
+}
+
+type writeEntry struct {
+	v       txVar
+	m       *varMeta
+	pending any // *T box
+	prevW   uint64
+}
+
+// Tx is a transaction descriptor. A Tx is only valid inside the closure
+// passed to Atomic and must not be retained or used from other goroutines.
+type Tx struct {
+	rt *Runtime
+
+	rv     uint64 // read version (TL2 snapshot timestamp)
+	reads  []readEntry
+	writes []writeEntry
+	wmap   map[*varMeta]int
+
+	active bool
+	serial bool
+	htm    bool
+
+	owner    OwnerID
+	attempts int
+	slotIdx  int
+
+	// simulated HTM footprint, in cache lines
+	htmReadLines  int
+	htmWriteLines int
+
+	// post-commit pipeline
+	hooks []func() // ordered deferred operations (package core)
+	frees []func() // deferred reclamation, after hooks (Listing 1)
+
+	rng uint64 // xorshift for backoff jitter
+}
+
+func newTx(rt *Runtime) *Tx {
+	return &Tx{
+		rt:      rt,
+		wmap:    make(map[*varMeta]int, 16),
+		slotIdx: -1,
+		rng:     0x9e3779b97f4a7c15,
+	}
+}
+
+// Runtime returns the runtime this transaction executes on.
+func (tx *Tx) Runtime() *Runtime { return tx.rt }
+
+// Owner returns the lock-owner identity of this transaction. Deferred
+// operations inherit it, so transaction-friendly locks acquired by a
+// transaction can be released (and reentered) by its deferred operations.
+func (tx *Tx) Owner() OwnerID { return tx.owner }
+
+// Serial reports whether the transaction is executing in serial
+// (irrevocable) mode.
+func (tx *Tx) Serial() bool { return tx.serial }
+
+// Attempts reports how many times this Atomic call has attempted to run,
+// including the current attempt (1 on the first try).
+func (tx *Tx) Attempts() int { return tx.attempts }
+
+func (tx *Tx) mustBeActive() {
+	if !tx.active {
+		panic("stm: use of Tx outside its transaction")
+	}
+}
+
+func (tx *Tx) recordRead(m *varMeta, word uint64) {
+	tx.reads = append(tx.reads, readEntry{m: m, ver: word})
+	if tx.htm {
+		tx.htmReadLines++
+		tx.checkCapacity()
+	}
+}
+
+func (tx *Tx) recordWrite(v txVar, m *varMeta, pending any) {
+	tx.writes = append(tx.writes, writeEntry{v: v, m: m, pending: pending})
+	tx.wmap[m] = len(tx.writes) - 1
+	if tx.htm {
+		tx.htmWriteLines++
+		tx.checkCapacity()
+	}
+}
+
+// HTMTouch models non-transactional memory touched inside a hardware
+// transaction (e.g. a large private buffer filled by a compression call).
+// Real HTM tracks every cache line a transaction touches, so touching more
+// than the capacity aborts the transaction even if the data is thread
+// private. readBytes and writeBytes are converted to 64-byte lines and
+// added to the simulated footprint. In ModeSTM (and serial mode) this is a
+// no-op, mirroring the paper's observation that the same code merely
+// lengthens an STM transaction but overflows an HTM one.
+func (tx *Tx) HTMTouch(readBytes, writeBytes int) {
+	tx.mustBeActive()
+	if !tx.htm {
+		return
+	}
+	tx.htmReadLines += (readBytes + 63) / 64
+	tx.htmWriteLines += (writeBytes + 63) / 64
+	tx.checkCapacity()
+}
+
+func (tx *Tx) checkCapacity() {
+	if tx.htmReadLines > tx.rt.cfg.HTMReadLines ||
+		tx.htmWriteLines > tx.rt.cfg.HTMWriteLines {
+		tx.rt.stats.AbortsCapacity.Add(1)
+		panic(txSignal{abortCapacity})
+	}
+}
+
+func (tx *Tx) abortConflict() {
+	tx.rt.stats.AbortsConflict.Add(1)
+	panic(txSignal{abortConflict})
+}
+
+// Retry aborts the transaction and blocks until another commit changes a
+// location in its read set, then re-executes it — the condition
+// synchronization of Harris et al. described in the paper's Section 2. The
+// transaction's effects are discarded; it will appear to have executed only
+// from a state where it did not call Retry.
+func (tx *Tx) Retry() {
+	tx.mustBeActive()
+	if tx.serial {
+		// A serial transaction runs alone; waiting for another commit
+		// would deadlock. Abort serial mode and re-run as a normal
+		// transaction that can legitimately wait.
+		panic(txSignal{abortExplicitRetry})
+	}
+	tx.rt.stats.Retries.Add(1)
+	panic(txSignal{abortExplicitRetry})
+}
+
+// Irrevocable requests that the remainder of the transaction be executed
+// irrevocably. Under STM the transaction restarts in serial mode (all other
+// transactions drain first), modelling a GCC `synchronized` block reaching
+// an unsafe operation. Under simulated HTM the request aborts the hardware
+// transaction (privilege changes abort TSX); the contention manager will
+// fall back to the serial path after SerializeAfter attempts.
+func (tx *Tx) Irrevocable() {
+	tx.mustBeActive()
+	if tx.serial {
+		return // already irrevocable
+	}
+	if tx.htm {
+		tx.rt.stats.AbortsSyscall.Add(1)
+		panic(txSignal{abortSyscall})
+	}
+	panic(txSignal{abortEscalate})
+}
+
+// AfterCommit schedules fn to run after the transaction commits and the
+// runtime has quiesced, in registration order. If the transaction aborts,
+// scheduled hooks are discarded (the re-executed closure registers them
+// again). This is the primitive package core builds atomic_defer on.
+//
+// Hooks run after the transaction descriptor is released, so they may
+// freely start new transactions.
+func (tx *Tx) AfterCommit(fn func()) {
+	tx.mustBeActive()
+	tx.hooks = append(tx.hooks, fn)
+}
+
+// QueueFree schedules fn (a reclamation action) to run after the
+// transaction commits, quiesces, and all AfterCommit hooks have finished —
+// the paper's Listing 1 delays the transactional free list "a bit more,
+// until all the deferred operations have completed", because deferred
+// operations may refer to memory the transaction freed.
+func (tx *Tx) QueueFree(fn func()) {
+	tx.mustBeActive()
+	tx.frees = append(tx.frees, fn)
+}
+
+// Nested runs fn as a flat-nested transaction: its reads and writes merge
+// into tx, and an error aborts the whole flattened transaction (Atomic
+// returns the error). This mirrors C++ TM's flattened nesting, which the
+// paper relies on for deadlock-free multi-lock acquisition inside
+// atomic_defer.
+func (tx *Tx) Nested(fn func(tx *Tx) error) error {
+	tx.mustBeActive()
+	return fn(tx)
+}
+
+// extend attempts to advance the transaction's read version to the current
+// global clock by revalidating every read. Returns false if any read is no
+// longer valid.
+func (tx *Tx) extend() bool {
+	newRV := tx.rt.clock.Load()
+	for i := range tx.reads {
+		e := &tx.reads[i]
+		cur := e.m.lock.Load()
+		if cur != e.ver {
+			return false
+		}
+	}
+	tx.rv = newRV
+	tx.rt.slots[tx.slotIdx].setRV(newRV)
+	tx.rt.stats.Extensions.Add(1)
+	return true
+}
+
+// validateReads checks the read set at commit time: every entry must be
+// unchanged, and unlocked or locked by this transaction.
+func (tx *Tx) validateReads() bool {
+	for i := range tx.reads {
+		e := &tx.reads[i]
+		cur := e.m.lock.Load()
+		if cur == e.ver {
+			continue
+		}
+		if wordLocked(cur) && e.m.owner.Load() == tx && (cur&^lockedBit) == e.ver {
+			continue // we hold the lock; version unchanged beneath it
+		}
+		return false
+	}
+	return true
+}
+
+// sortWrites orders the write set by var ID so that commit-time lock
+// acquisition is globally ordered (deadlock- and livelock-free against
+// other committers).
+func (tx *Tx) sortWrites() {
+	sort.Slice(tx.writes, func(i, j int) bool {
+		return tx.writes[i].m.id < tx.writes[j].m.id
+	})
+	for i := range tx.writes {
+		tx.wmap[tx.writes[i].m] = i
+	}
+}
+
+// reset prepares the descriptor for another attempt or for reuse.
+func (tx *Tx) reset() {
+	tx.reads = tx.reads[:0]
+	tx.writes = tx.writes[:0]
+	if len(tx.wmap) > 0 {
+		clear(tx.wmap)
+	}
+	tx.hooks = nil // moved out or discarded; never reused across attempts
+	tx.frees = nil
+	tx.htmReadLines = 0
+	tx.htmWriteLines = 0
+	tx.active = false
+	tx.serial = false
+	tx.htm = false
+}
+
+func (tx *Tx) String() string {
+	return fmt.Sprintf("Tx(rv=%d reads=%d writes=%d serial=%v)",
+		tx.rv, len(tx.reads), len(tx.writes), tx.serial)
+}
+
+// xorshift64 for backoff jitter.
+func (tx *Tx) nextRand() uint64 {
+	x := tx.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	tx.rng = x
+	return x
+}

@@ -1,0 +1,204 @@
+package stm
+
+import (
+	"sync/atomic"
+)
+
+// A Var's lock word packs a version number and a lock bit:
+//
+//	word = version<<1 | locked
+//
+// While locked, the version bits still hold the pre-lock version; the
+// owning transaction is recorded in varMeta.owner. Versions are drawn from
+// the runtime's global clock.
+const lockedBit uint64 = 1
+
+func wordLocked(w uint64) bool    { return w&lockedBit != 0 }
+func wordVersion(w uint64) uint64 { return w >> 1 }
+func packVersion(v uint64) uint64 { return v << 1 }
+
+var varIDCtr atomic.Uint64
+
+// varMeta is the type-erased portion of a Var: the versioned lock and the
+// commit-time owner. It is what read sets, write sets and lock-ordering
+// operate on.
+type varMeta struct {
+	id    uint64 // unique, allocation-ordered; used to sort write sets
+	lock  atomic.Uint64
+	owner atomic.Pointer[Tx] // non-nil only while locked
+}
+
+// txVar is the type-erased interface a Var presents to the commit path.
+type txVar interface {
+	meta() *varMeta
+	// publish stores a pending boxed value (a *T produced by Set) as the
+	// committed snapshot. It is only called while the var is locked by
+	// the committing transaction, or in serial mode.
+	publish(pending any)
+}
+
+// Var is a transactional variable holding a value of type T. The committed
+// value is an immutable boxed snapshot: transactional writes buffer a new
+// box in the transaction's redo log and commit publishes it. All access
+// paths are race-free under the Go memory model.
+//
+// The zero Var is valid and holds the zero value of T.
+type Var[T any] struct {
+	m   varMeta
+	val atomic.Pointer[T]
+}
+
+// NewVar creates a Var holding init.
+func NewVar[T any](init T) *Var[T] {
+	v := &Var[T]{}
+	v.m.id = varIDCtr.Add(1)
+	v.val.Store(&init)
+	return v
+}
+
+func (v *Var[T]) meta() *varMeta { return &v.m }
+
+func (v *Var[T]) publish(pending any) {
+	v.val.Store(pending.(*T))
+}
+
+// ensureID lazily assigns an ID to zero-value Vars (those not built with
+// NewVar). IDs order write-set lock acquisition; a stable nonzero ID is
+// required once the var participates in a commit.
+func (v *Var[T]) ensureID() {
+	if atomic.LoadUint64(&v.m.id) == 0 {
+		atomic.CompareAndSwapUint64(&v.m.id, 0, varIDCtr.Add(1))
+	}
+}
+
+// Init sets a Var's value before the Var is shared with other goroutines
+// (e.g. in a constructor). It performs no synchronization or version bump;
+// using it on a Var concurrently accessed by transactions is a data race —
+// use Set or StoreDirect instead.
+func (v *Var[T]) Init(x T) { v.val.Store(&x) }
+
+// Get reads the Var inside transaction tx, with TL2 consistency: the value
+// returned is guaranteed to belong to a snapshot no newer than the
+// transaction's read version (extending the read version when possible).
+// Get never returns an inconsistent value; if consistency cannot be
+// established the transaction aborts (via panic, caught by Atomic) and
+// re-executes.
+func (v *Var[T]) Get(tx *Tx) T {
+	tx.mustBeActive()
+	if idx, ok := tx.wmap[&v.m]; ok {
+		return *(tx.writes[idx].pending.(*T))
+	}
+	if tx.serial {
+		// Serial transactions run alone; direct read.
+		p := v.val.Load()
+		if p == nil {
+			var zero T
+			return zero
+		}
+		return *p
+	}
+	for {
+		w1 := v.m.lock.Load()
+		if wordLocked(w1) {
+			if v.m.owner.Load() == tx {
+				// Only possible during commit write-back, which
+				// never calls Get; defensive.
+				p := v.val.Load()
+				return deref(p)
+			}
+			tx.abortConflict()
+		}
+		p := v.val.Load()
+		w2 := v.m.lock.Load()
+		if w1 != w2 {
+			continue // concurrent commit touched v; re-read
+		}
+		if wordVersion(w1) > tx.rv {
+			// The var was committed after we began. Try to extend
+			// our read version; abort if our prior reads are stale.
+			if !tx.extend() {
+				tx.abortConflict()
+			}
+			continue
+		}
+		tx.recordRead(&v.m, w1)
+		return deref(p)
+	}
+}
+
+func deref[T any](p *T) T {
+	if p == nil {
+		var zero T
+		return zero
+	}
+	return *p
+}
+
+// Set buffers a transactional write of x to the Var. The write becomes
+// visible to other transactions only if tx commits.
+func (v *Var[T]) Set(tx *Tx, x T) {
+	tx.mustBeActive()
+	if idx, ok := tx.wmap[&v.m]; ok {
+		tx.writes[idx].pending = &x
+		return
+	}
+	v.ensureID()
+	tx.recordWrite(v, &v.m, &x)
+}
+
+// Update applies f to the current value and stores the result, all within
+// tx. It is a convenience for read-modify-write.
+func (v *Var[T]) Update(tx *Tx, f func(T) T) {
+	v.Set(tx, f(v.Get(tx)))
+}
+
+// Load returns the committed value without a transaction. The read is an
+// atomic snapshot (it spins while a commit holds the var locked), but the
+// caller is responsible for privatization safety: per the paper's Section
+// 2, non-transactional access is only safe once every transaction that may
+// access the var has completed — which is what the runtime's post-commit
+// quiescence guarantees for data privatized by a committed transaction.
+func (v *Var[T]) Load() T {
+	for {
+		w1 := v.m.lock.Load()
+		if wordLocked(w1) {
+			spinPause()
+			continue
+		}
+		p := v.val.Load()
+		w2 := v.m.lock.Load()
+		if w1 == w2 {
+			return deref(p)
+		}
+	}
+}
+
+// StoreDirect publishes x outside any transaction, bumping the var's
+// version so that running transactions observe the change and validate
+// correctly. It is the primitive deferred operations use to update fields
+// of deferrable objects they hold locked: because every transactional
+// access to such fields is preceded by a lock subscription, concurrent
+// transactions will abort rather than observe an intermediate state, and
+// the version bump makes the update visible to TL2 validation immediately.
+//
+// rt must be the runtime whose transactions access v.
+func (v *Var[T]) StoreDirect(rt *Runtime, x T) {
+	v.ensureID()
+	for {
+		w := v.m.lock.Load()
+		if wordLocked(w) {
+			spinPause()
+			continue
+		}
+		if v.m.lock.CompareAndSwap(w, w|lockedBit) {
+			wv := rt.clock.Add(1)
+			v.val.Store(&x)
+			v.m.lock.Store(packVersion(wv))
+			rt.notifyCommit()
+			return
+		}
+	}
+}
+
+// Version reports the var's current commit version (diagnostics/tests).
+func (v *Var[T]) Version() uint64 { return wordVersion(v.m.lock.Load()) }

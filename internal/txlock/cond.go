@@ -1,0 +1,58 @@
+package txlock
+
+import (
+	"deferstm/internal/stm"
+)
+
+// Cond is a transaction-friendly condition variable in the style of Wang,
+// Liu and Spear's SPAA 2014 "Transaction-Friendly Condition Variables"
+// (the work whose dedup port the paper's evaluation builds on). A waiter
+// reads the condition's generation inside its transaction and retries;
+// because the generation lands in the read set, any Signal or Broadcast
+// (a transactional write to the generation) wakes and re-executes it.
+//
+// Unlike a pthread condition variable there is no separate mutex: the
+// transaction is the critical section, and the "recheck the predicate
+// after waking" loop is the transaction re-execution itself — so the
+// lost-wakeup and spurious-wakeup hazards of classic condition variables
+// are structurally absent.
+//
+// The zero Cond is ready to use.
+type Cond struct {
+	gen stm.Var[uint64]
+}
+
+// NewCond returns a new condition variable.
+func NewCond() *Cond { return &Cond{} }
+
+// Wait aborts tx and blocks until the condition is signalled, then
+// re-executes the transaction from the start. Call it when the guarded
+// predicate (evaluated transactionally) is false:
+//
+//	if !ready.Get(tx) {
+//	    cond.Wait(tx)
+//	}
+func (c *Cond) Wait(tx *stm.Tx) {
+	_ = c.gen.Get(tx) // ensure the generation is in the read set
+	tx.Retry()
+}
+
+// Signal wakes waiters as part of tx (takes effect only if tx commits).
+// With retry-based waiting every waiter re-evaluates its predicate, so
+// Signal and Broadcast coincide; both names are provided for familiarity.
+func (c *Cond) Signal(tx *stm.Tx) {
+	c.gen.Set(tx, c.gen.Get(tx)+1)
+}
+
+// Broadcast is Signal (all retry waiters re-execute).
+func (c *Cond) Broadcast(tx *stm.Tx) { c.Signal(tx) }
+
+// SignalDirect wakes waiters from non-transactional code (e.g. from a
+// deferred operation), with a version-bumped direct store.
+func (c *Cond) SignalDirect(rt *stm.Runtime) {
+	c.gen.StoreDirect(rt, c.gen.Load()+1)
+}
+
+// Generation reports the current generation inside tx (diagnostics; also
+// usable to build "wait for k signals" patterns).
+func (c *Cond) Generation(tx *stm.Tx) uint64 { return c.gen.Get(tx) }

@@ -1,0 +1,168 @@
+package txlock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"deferstm/internal/stm"
+)
+
+func TestCondWaitSignal(t *testing.T) {
+	rt := stm.NewDefault()
+	c := NewCond()
+	ready := stm.NewVar(false)
+	woke := make(chan struct{})
+	go func() {
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			if !ready.Get(tx) {
+				c.Wait(tx)
+			}
+			return nil
+		})
+		close(woke)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	// Signalling without making the predicate true: waiter re-checks and
+	// sleeps again (no spurious completion).
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		c.Signal(tx)
+		return nil
+	})
+	select {
+	case <-woke:
+		t.Fatal("waiter completed with false predicate")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// Make it true and signal.
+	if err := rt.Atomic(func(tx *stm.Tx) error {
+		ready.Set(tx, true)
+		c.Signal(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-woke:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	rt := stm.NewDefault()
+	c := NewCond()
+	gate := stm.NewVar(false)
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				if !gate.Get(tx) {
+					c.Wait(tx)
+				}
+				return nil
+			})
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		gate.Set(tx, true)
+		c.Broadcast(tx)
+		return nil
+	})
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("broadcast missed waiters")
+	}
+}
+
+func TestCondSignalDirect(t *testing.T) {
+	rt := stm.NewDefault()
+	c := NewCond()
+	flag := stm.NewVar(false)
+	woke := make(chan struct{})
+	go func() {
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			if !flag.Get(tx) {
+				c.Wait(tx)
+			}
+			return nil
+		})
+		close(woke)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	flag.StoreDirect(rt, true)
+	c.SignalDirect(rt)
+	select {
+	case <-woke:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SignalDirect did not wake")
+	}
+}
+
+func TestCondGeneration(t *testing.T) {
+	rt := stm.NewDefault()
+	c := NewCond()
+	var g0, g1 uint64
+	_ = rt.Atomic(func(tx *stm.Tx) error { g0 = c.Generation(tx); return nil })
+	_ = rt.Atomic(func(tx *stm.Tx) error { c.Signal(tx); return nil })
+	_ = rt.Atomic(func(tx *stm.Tx) error { g1 = c.Generation(tx); return nil })
+	if g1 != g0+1 {
+		t.Errorf("generation %d -> %d", g0, g1)
+	}
+}
+
+// TestCondProducerConsumer: bounded-buffer handoff driven entirely by
+// condition waits (the pattern the paper's Section 1 says "most TMs do
+// not support").
+func TestCondProducerConsumer(t *testing.T) {
+	rt := stm.NewDefault()
+	notEmpty := NewCond()
+	notFull := NewCond()
+	buf := stm.NewVar(0) // 0 = empty
+	const n = 100
+	var got []int
+	done := make(chan struct{})
+	go func() { // consumer
+		defer close(done)
+		for i := 0; i < n; i++ {
+			var v int
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				v = buf.Get(tx)
+				if v == 0 {
+					notEmpty.Wait(tx)
+				}
+				buf.Set(tx, 0)
+				notFull.Signal(tx)
+				return nil
+			})
+			got = append(got, v)
+		}
+	}()
+	for i := 1; i <= n; i++ {
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			if buf.Get(tx) != 0 {
+				notFull.Wait(tx)
+			}
+			buf.Set(tx, i)
+			notEmpty.Signal(tx)
+			return nil
+		})
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("handoff stalled")
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}

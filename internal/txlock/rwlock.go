@@ -1,0 +1,211 @@
+package txlock
+
+import (
+	"fmt"
+
+	"deferstm/internal/stm"
+)
+
+// RWLock is a transaction-friendly reader-writer lock, extending the
+// paper's TxLock design (§4.2) to shared/exclusive mode — the "greater
+// range of workloads" its future-work section anticipates. Like Lock, all
+// state is transactional, so acquisition composes with transactions
+// (atomic multi-lock acquisition, no deadlock without a lock order), and
+// transactions can subscribe:
+//
+//   - SubscribeRead blocks while a writer holds the lock: readers of a
+//     deferrable object tolerate concurrent *shared* holders;
+//   - SubscribeWrite blocks while anyone holds the lock.
+//
+// A deferred operation that only reads its objects can hold them in
+// shared mode, letting other read-only deferred operations overlap.
+//
+// The zero value is an unlocked RWLock. An RWLock must not be copied
+// after first use.
+type RWLock struct {
+	writer stm.Var[stm.OwnerID] // exclusive holder (0 = none)
+	depth  stm.Var[int]         // writer reentrancy depth
+	// readers is a count plus a small set of reader identities for
+	// reentrancy and release checking. The set is persistent (copied on
+	// write) so concurrent subscribers conflict only through the Vars.
+	readers stm.Var[*readerSet]
+}
+
+type readerSet struct {
+	ids []stm.OwnerID // holders (an ID may appear multiple times: reentrancy)
+}
+
+func (rs *readerSet) count() int {
+	if rs == nil {
+		return 0
+	}
+	return len(rs.ids)
+}
+
+func (rs *readerSet) holds(me stm.OwnerID) bool {
+	if rs == nil {
+		return false
+	}
+	for _, id := range rs.ids {
+		if id == me {
+			return true
+		}
+	}
+	return false
+}
+
+func (rs *readerSet) with(me stm.OwnerID) *readerSet {
+	ids := make([]stm.OwnerID, 0, rs.count()+1)
+	if rs != nil {
+		ids = append(ids, rs.ids...)
+	}
+	return &readerSet{ids: append(ids, me)}
+}
+
+func (rs *readerSet) without(me stm.OwnerID) (*readerSet, bool) {
+	if rs == nil {
+		return nil, false
+	}
+	for i, id := range rs.ids {
+		if id == me {
+			ids := make([]stm.OwnerID, 0, len(rs.ids)-1)
+			ids = append(ids, rs.ids[:i]...)
+			ids = append(ids, rs.ids[i+1:]...)
+			if len(ids) == 0 {
+				return nil, true
+			}
+			return &readerSet{ids: ids}, true
+		}
+	}
+	return rs, false
+}
+
+// NewRWLock returns an unlocked RWLock.
+func NewRWLock() *RWLock { return &RWLock{} }
+
+// AcquireRead obtains the lock in shared mode for tx's owner (waiting out
+// any writer). Reentrant; also permitted while holding the write lock
+// (downgrade-free read under exclusivity).
+func (l *RWLock) AcquireRead(tx *stm.Tx) { l.AcquireReadAs(tx, tx.Owner()) }
+
+// AcquireReadAs is AcquireRead with an explicit owner identity.
+func (l *RWLock) AcquireReadAs(tx *stm.Tx, me stm.OwnerID) {
+	if me == 0 {
+		panic("txlock: zero OwnerID")
+	}
+	w := l.writer.Get(tx)
+	if w != 0 && w != me {
+		tx.Retry()
+	}
+	l.readers.Set(tx, l.readers.Get(tx).with(me))
+}
+
+// AcquireWrite obtains the lock exclusively for tx's owner, waiting out
+// writers and readers (a sole reader that is itself upgrades).
+func (l *RWLock) AcquireWrite(tx *stm.Tx) { l.AcquireWriteAs(tx, tx.Owner()) }
+
+// AcquireWriteAs is AcquireWrite with an explicit owner identity.
+func (l *RWLock) AcquireWriteAs(tx *stm.Tx, me stm.OwnerID) {
+	if me == 0 {
+		panic("txlock: zero OwnerID")
+	}
+	w := l.writer.Get(tx)
+	if w == me {
+		l.depth.Set(tx, l.depth.Get(tx)+1)
+		return
+	}
+	if w != 0 {
+		tx.Retry()
+	}
+	rs := l.readers.Get(tx)
+	// Wait until no *other* reader holds the lock (upgrade allowed when
+	// every shared hold is ours).
+	for _, id := range rsIDs(rs) {
+		if id != me {
+			tx.Retry()
+		}
+	}
+	l.writer.Set(tx, me)
+	l.depth.Set(tx, 1)
+}
+
+func rsIDs(rs *readerSet) []stm.OwnerID {
+	if rs == nil {
+		return nil
+	}
+	return rs.ids
+}
+
+// ReleaseRead releases one shared hold.
+func (l *RWLock) ReleaseRead(tx *stm.Tx) error { return l.ReleaseReadAs(tx, tx.Owner()) }
+
+// ReleaseReadAs is ReleaseRead with an explicit owner identity.
+func (l *RWLock) ReleaseReadAs(tx *stm.Tx, me stm.OwnerID) error {
+	rs, ok := l.readers.Get(tx).without(me)
+	if !ok {
+		return fmt.Errorf("%w (read release, caller=%d)", ErrNotOwner, me)
+	}
+	l.readers.Set(tx, rs)
+	return nil
+}
+
+// ReleaseWrite releases one exclusive hold level.
+func (l *RWLock) ReleaseWrite(tx *stm.Tx) error { return l.ReleaseWriteAs(tx, tx.Owner()) }
+
+// ReleaseWriteAs is ReleaseWrite with an explicit owner identity.
+func (l *RWLock) ReleaseWriteAs(tx *stm.Tx, me stm.OwnerID) error {
+	if l.writer.Get(tx) != me {
+		return fmt.Errorf("%w (write release, caller=%d)", ErrNotOwner, me)
+	}
+	d := l.depth.Get(tx)
+	if d > 1 {
+		l.depth.Set(tx, d-1)
+		return nil
+	}
+	l.depth.Set(tx, 0)
+	l.writer.Set(tx, 0)
+	return nil
+}
+
+// SubscribeRead elides the lock for transactional readers: it retries
+// while a writer (other than the subscriber) holds the lock, and leaves
+// the writer field in the read set so a later exclusive acquisition
+// aborts the subscriber. Shared holders do not block it.
+func (l *RWLock) SubscribeRead(tx *stm.Tx) { l.SubscribeReadAs(tx, tx.Owner()) }
+
+// SubscribeReadAs is SubscribeRead with an explicit owner identity.
+func (l *RWLock) SubscribeReadAs(tx *stm.Tx, me stm.OwnerID) {
+	w := l.writer.Get(tx)
+	if w != 0 && w != me {
+		tx.Retry()
+	}
+}
+
+// SubscribeWrite elides the lock for transactional writers: it retries
+// while anyone else holds the lock in any mode.
+func (l *RWLock) SubscribeWrite(tx *stm.Tx) { l.SubscribeWriteAs(tx, tx.Owner()) }
+
+// SubscribeWriteAs is SubscribeWrite with an explicit owner identity.
+func (l *RWLock) SubscribeWriteAs(tx *stm.Tx, me stm.OwnerID) {
+	w := l.writer.Get(tx)
+	if w != 0 && w != me {
+		tx.Retry()
+	}
+	for _, id := range rsIDs(l.readers.Get(tx)) {
+		if id != me {
+			tx.Retry()
+		}
+	}
+}
+
+// Writer reports the current exclusive holder inside tx (0 if none).
+func (l *RWLock) Writer(tx *stm.Tx) stm.OwnerID { return l.writer.Get(tx) }
+
+// Readers reports the number of shared holds inside tx.
+func (l *RWLock) Readers(tx *stm.Tx) int { return l.readers.Get(tx).count() }
+
+// WriterSnapshot returns the exclusive holder without a transaction.
+func (l *RWLock) WriterSnapshot() stm.OwnerID { return l.writer.Load() }
+
+// ReadersSnapshot returns the shared-hold count without a transaction.
+func (l *RWLock) ReadersSnapshot() int { return l.readers.Load().count() }

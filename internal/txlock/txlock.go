@@ -1,0 +1,175 @@
+// Package txlock implements the paper's transaction-friendly mutual
+// exclusion locks (Listing 2): reentrant mutexes whose owner and depth are
+// ordinary transactional data, so that
+//
+//   - locks can be acquired and released inside transactions — acquisition
+//     is just a transactional write, so acquiring several locks inside one
+//     transaction is deadlock-free without a global lock order;
+//   - transactions can *subscribe* to a lock: a transactional read of the
+//     owner field that retries while the lock is held by someone else.
+//     Once any thread acquires the lock, every subscribed transaction
+//     conflicts with the new owner's commit and aborts.
+//
+// Because the fields are transactional variables they need not be packed
+// into one machine word, and the TM provides the fence semantics the paper
+// relies on.
+package txlock
+
+import (
+	"errors"
+	"fmt"
+
+	"deferstm/internal/stm"
+)
+
+// ErrNotOwner is returned (wrapped) when Release is called by a
+// non-owner. The paper's Listing 2 makes lock handoff a fatal error; we
+// surface it as an error so tests can exercise it, and HandoffFatal can be
+// enabled to restore the paper's behaviour.
+var ErrNotOwner = errors.New("txlock: release by non-owner")
+
+// HandoffFatal, when true, makes Release panic (as in Listing 2) instead
+// of returning ErrNotOwner.
+var HandoffFatal = false
+
+// Lock is a transaction-friendly, reentrant mutual exclusion lock.
+// The zero value is an unlocked Lock, so it can be embedded directly in
+// deferrable objects (package core relies on this). A Lock must not be
+// copied after first use.
+type Lock struct {
+	owner stm.Var[stm.OwnerID] // 0 = unheld
+	depth stm.Var[int]
+}
+
+// NewLock returns an unlocked Lock.
+func NewLock() *Lock { return &Lock{} }
+
+// Acquire obtains the lock inside tx on behalf of tx's owner identity
+// (Listing 2, TxLock.Acquire). If the lock is unheld it becomes owned at
+// depth 1; if already held by this owner the depth increments; otherwise
+// the transaction retries (blocking until the lock is released, then
+// re-executing). The acquisition takes effect only when tx commits —
+// which is exactly what makes multi-lock acquisition deadlock-free.
+func (l *Lock) Acquire(tx *stm.Tx) {
+	l.AcquireAs(tx, tx.Owner())
+}
+
+// AcquireAs is Acquire with an explicit owner identity (for locks held
+// across transactions by one logical thread).
+func (l *Lock) AcquireAs(tx *stm.Tx, me stm.OwnerID) {
+	if me == 0 {
+		panic("txlock: zero OwnerID")
+	}
+	cur := l.owner.Get(tx)
+	switch cur {
+	case 0:
+		l.owner.Set(tx, me)
+		l.depth.Set(tx, 1)
+	case me:
+		l.depth.Set(tx, l.depth.Get(tx)+1)
+	default:
+		// Held by another thread: wait (the paper spins/yields and
+		// retries; our runtime blocks until the owner field changes).
+		tx.Retry()
+	}
+}
+
+// TryAcquire is like Acquire but returns false instead of waiting when the
+// lock is held by another owner.
+func (l *Lock) TryAcquire(tx *stm.Tx) bool { return l.TryAcquireAs(tx, tx.Owner()) }
+
+// TryAcquireAs is TryAcquire with an explicit owner identity.
+func (l *Lock) TryAcquireAs(tx *stm.Tx, me stm.OwnerID) bool {
+	if me == 0 {
+		panic("txlock: zero OwnerID")
+	}
+	cur := l.owner.Get(tx)
+	switch cur {
+	case 0:
+		l.owner.Set(tx, me)
+		l.depth.Set(tx, 1)
+		return true
+	case me:
+		l.depth.Set(tx, l.depth.Get(tx)+1)
+		return true
+	default:
+		return false
+	}
+}
+
+// Release releases one level of the lock inside tx (Listing 2,
+// TxLock.Release). Releasing a lock not held by tx's owner returns
+// ErrNotOwner (or panics if HandoffFatal).
+func (l *Lock) Release(tx *stm.Tx) error {
+	return l.ReleaseAs(tx, tx.Owner())
+}
+
+// ReleaseAs is Release with an explicit owner identity.
+func (l *Lock) ReleaseAs(tx *stm.Tx, me stm.OwnerID) error {
+	cur := l.owner.Get(tx)
+	if cur != me {
+		if HandoffFatal {
+			panic(fmt.Sprintf("txlock: release of lock owned by %d by %d", cur, me))
+		}
+		return fmt.Errorf("%w (owner=%d, caller=%d)", ErrNotOwner, cur, me)
+	}
+	d := l.depth.Get(tx)
+	if d > 1 {
+		l.depth.Set(tx, d-1)
+		return nil
+	}
+	l.depth.Set(tx, 0)
+	l.owner.Set(tx, 0)
+	return nil
+}
+
+// Subscribe elides the lock inside a transaction (Listing 2,
+// TxLock.Subscribe): it blocks (via retry) until the lock is unheld or
+// held by the subscribing owner, and — crucially — leaves the owner field
+// in tx's read set, so that any subsequent acquisition of the lock
+// invalidates and aborts tx. Multiple transactions may subscribe
+// concurrently: subscription only reads.
+func (l *Lock) Subscribe(tx *stm.Tx) {
+	l.SubscribeAs(tx, tx.Owner())
+}
+
+// SubscribeAs is Subscribe with an explicit owner identity.
+func (l *Lock) SubscribeAs(tx *stm.Tx, me stm.OwnerID) {
+	cur := l.owner.Get(tx)
+	if cur != 0 && cur != me {
+		tx.Retry()
+	}
+}
+
+// HeldBy reports the current owner (0 if unheld) inside tx.
+func (l *Lock) HeldBy(tx *stm.Tx) stm.OwnerID { return l.owner.Get(tx) }
+
+// Depth reports the current reentrancy depth inside tx.
+func (l *Lock) Depth(tx *stm.Tx) int { return l.depth.Get(tx) }
+
+// OwnerSnapshot returns the owner without a transaction (diagnostics).
+func (l *Lock) OwnerSnapshot() stm.OwnerID { return l.owner.Load() }
+
+// AcquireOutside acquires the lock from non-transactional code by running
+// a small transaction, blocking until acquired. It is the building block
+// for using TxLocks as plain mutexes in lock-based code paths ("mix and
+// match" in the paper's terms).
+func (l *Lock) AcquireOutside(rt *stm.Runtime, me stm.OwnerID) {
+	_ = rt.AtomicAs(me, func(tx *stm.Tx) error {
+		l.AcquireAs(tx, me)
+		return nil
+	})
+}
+
+// ReleaseOutside releases the lock from non-transactional code.
+func (l *Lock) ReleaseOutside(rt *stm.Runtime, me stm.OwnerID) error {
+	var rerr error
+	err := rt.AtomicAs(me, func(tx *stm.Tx) error {
+		rerr = l.ReleaseAs(tx, me)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return rerr
+}
