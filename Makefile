@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet torture ci bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short adversarial soak: fault injection + full history checking.
+torture:
+	$(GO) run ./cmd/stmtorture -duration 2s -threads 8 -check -inject -seed 1
+
+# The full CI gate (vet + build + race tests + torture smoke, both modes).
+ci:
+	./scripts/ci.sh
+
+bench:
+	$(GO) test -bench=. -benchmem

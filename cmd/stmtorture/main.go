@@ -10,97 +10,185 @@
 //     b in the deferred operation); subscribing readers must never
 //     observe a != b;
 //   - locks: opposite-order multi-lock acquisition through transactions
-//     (deadlock-freedom check).
+//     (deadlock-freedom check);
+//   - selfcheck: deliberately reports one failure, so the harness's
+//     nonzero-exit path can itself be tested (not part of "all").
+//
+// With -check, every event of the run is recorded (internal/history)
+// and verified offline by internal/check against serializability,
+// opacity, deferral atomicity and two-phase locking. With -inject,
+// seeded fault injection (-seed) drives the runtime onto adversarial
+// schedules: forced conflict and capacity aborts, delayed write-back,
+// and stalls inside quiescence and the commit→λ window.
 //
 // Example:
 //
 //	stmtorture -duration 10s -threads 8 -workload all -mode stm
+//	stmtorture -duration 2s -check -inject -seed 7
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"deferstm/internal/check"
 	"deferstm/internal/core"
 	"deferstm/internal/ds"
+	"deferstm/internal/history"
 	"deferstm/internal/stm"
 	"deferstm/internal/txlock"
 )
 
-var failures atomic.Int64
+// torture carries the per-run harness state: failure accounting, the
+// base seed for worker RNGs, and the per-thread operation cap used to
+// bound recorded histories.
+type torture struct {
+	failures atomic.Int64
+	stderr   io.Writer
+	seed     uint64
+	maxOps   int64
+}
 
-func failf(format string, args ...any) {
-	failures.Add(1)
-	fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+func (h *torture) failf(format string, args ...any) {
+	h.failures.Add(1)
+	fmt.Fprintf(h.stderr, "FAIL: "+format+"\n", args...)
 }
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the torture harness and returns the process exit code:
+// 0 on success, 1 on invariant or history-check violations, 2 on usage
+// errors. It is separated from main so the package test can assert the
+// nonzero-exit paths.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stmtorture", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		duration = flag.Duration("duration", 5*time.Second, "run time per workload")
-		threads  = flag.Int("threads", 8, "concurrent worker goroutines")
-		workload = flag.String("workload", "all", "bank|tree|defer|locks|all")
-		mode     = flag.String("mode", "stm", "stm|htm")
+		duration  = fs.Duration("duration", 5*time.Second, "run time per workload")
+		threads   = fs.Int("threads", 8, "concurrent worker goroutines")
+		workload  = fs.String("workload", "all", "bank|tree|defer|locks|selfcheck|all")
+		mode      = fs.String("mode", "stm", "stm|htm")
+		seed      = fs.Uint64("seed", 1, "base seed for worker RNGs and fault injection")
+		checkHist = fs.Bool("check", false, "record the full event history and verify serializability, opacity, deferral atomicity and 2PL")
+		inject    = fs.Bool("inject", false, "enable seeded fault injection (forced aborts, delayed write-back, quiescence and commit→λ stalls)")
+		maxOps    = fs.Int64("maxops", 0, "per-thread operation cap (0 = unlimited; defaults to 4000 under -check to bound the recorded history)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := stm.Config{}
-	if *mode == "htm" {
+	switch *mode {
+	case "stm":
+	case "htm":
 		cfg.Mode = stm.ModeHTM
-	} else if *mode != "stm" {
-		fmt.Fprintf(os.Stderr, "stmtorture: unknown mode %q\n", *mode)
-		os.Exit(2)
+	default:
+		fmt.Fprintf(stderr, "stmtorture: unknown mode %q\n", *mode)
+		return 2
+	}
+	if *inject {
+		cfg.Inject = &stm.Inject{
+			Seed:              *seed,
+			ConflictPct:       15,
+			CapacityPct:       2,
+			WriteBackDelayPct: 5,
+			QuiesceStallPct:   5,
+			PreHookStallPct:   15,
+			StallSpins:        512,
+		}
+	}
+	ops := *maxOps
+	if *checkHist && ops == 0 {
+		ops = 4000
 	}
 
-	workloads := map[string]func(*stm.Runtime, int, time.Duration){
-		"bank":  tortureBank,
-		"tree":  tortureTree,
-		"defer": tortureDefer,
-		"locks": tortureLocks,
+	workloads := map[string]func(*torture, *stm.Runtime, int, time.Duration){
+		"bank":      tortureBank,
+		"tree":      tortureTree,
+		"defer":     tortureDefer,
+		"locks":     tortureLocks,
+		"selfcheck": tortureSelfcheck,
 	}
-	order := []string{"bank", "tree", "defer", "locks"}
+	order := []string{"bank", "tree", "defer", "locks"} // selfcheck is opt-in
 
+	var total int64
 	ran := 0
 	for _, name := range order {
 		if *workload != "all" && *workload != name {
 			continue
 		}
 		ran++
-		rt := stm.New(cfg)
-		start := time.Now()
-		workloads[name](rt, *threads, *duration)
-		snap := rt.Snapshot()
-		fmt.Printf("%-6s %8.2fs  %s\n", name, time.Since(start).Seconds(), snap.String())
+		total += runWorkload(name, workloads[name], cfg, *threads, *duration, *seed, ops, *checkHist, stdout, stderr)
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "stmtorture: unknown workload %q\n", *workload)
-		os.Exit(2)
+		fn, ok := workloads[*workload]
+		if !ok {
+			fmt.Fprintf(stderr, "stmtorture: unknown workload %q\n", *workload)
+			return 2
+		}
+		total += runWorkload(*workload, fn, cfg, *threads, *duration, *seed, ops, *checkHist, stdout, stderr)
 	}
-	if n := failures.Load(); n > 0 {
-		fmt.Fprintf(os.Stderr, "stmtorture: %d invariant violations\n", n)
-		os.Exit(1)
+	if total > 0 {
+		fmt.Fprintf(stderr, "stmtorture: %d invariant violations\n", total)
+		return 1
 	}
-	fmt.Println("all invariants held")
+	fmt.Fprintln(stdout, "all invariants held")
+	return 0
 }
 
-func runFor(threads int, d time.Duration, body func(tid int, rng func(int) int64)) {
+// runWorkload runs one named workload on a fresh runtime, optionally
+// recording and checking its history, and returns the failure count.
+func runWorkload(name string, fn func(*torture, *stm.Runtime, int, time.Duration),
+	cfg stm.Config, threads int, d time.Duration, seed uint64, maxOps int64,
+	checkHist bool, stdout, stderr io.Writer) int64 {
+
+	var log *history.Log
+	if checkHist {
+		log = history.New()
+		cfg.Recorder = log
+	}
+	h := &torture{stderr: stderr, seed: seed, maxOps: maxOps}
+	rt := stm.New(cfg)
+	start := time.Now()
+	fn(h, rt, threads, d)
+	snap := rt.Snapshot()
+	fmt.Fprintf(stdout, "%-9s %7.2fs  %s\n", name, time.Since(start).Seconds(), snap.String())
+	if checkHist {
+		rep := check.History(log.Events())
+		if !rep.OK() {
+			h.failf("%s: history check failed (seed %d):\n%s", name, seed, rep)
+		} else {
+			fmt.Fprintf(stdout, "%-9s          %s\n", "", rep.String())
+		}
+	}
+	return h.failures.Load()
+}
+
+// runFor drives threads workers for at most d (and, if h.maxOps > 0, at
+// most that many operations per worker). Worker RNGs are derived from
+// h.seed so runs are reproducible up to goroutine interleaving.
+func (h *torture) runFor(threads int, d time.Duration, body func(tid int, rng func(int) int64)) {
 	stop := time.Now().Add(d)
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
-			state := uint64(tid)*2654435761 + 1
+			state := (h.seed+uint64(tid))*2654435761 + 1
 			rng := func(n int) int64 {
 				state ^= state << 13
 				state ^= state >> 7
 				state ^= state << 17
 				return int64(state % uint64(n))
 			}
-			for time.Now().Before(stop) {
+			for i := int64(0); time.Now().Before(stop) && (h.maxOps == 0 || i < h.maxOps); i++ {
 				body(tid, rng)
 			}
 		}(t)
@@ -108,14 +196,14 @@ func runFor(threads int, d time.Duration, body func(tid int, rng func(int) int64
 	wg.Wait()
 }
 
-func tortureBank(rt *stm.Runtime, threads int, d time.Duration) {
+func tortureBank(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
 	const nAcct = 32
 	const initial = 1000
 	accounts := make([]*stm.Var[int], nAcct)
 	for i := range accounts {
 		accounts[i] = stm.NewVar(initial)
 	}
-	runFor(threads, d, func(tid int, rng func(int) int64) {
+	h.runFor(threads, d, func(tid int, rng func(int) int64) {
 		if rng(10) == 0 { // audit
 			sum := 0
 			_ = rt.Atomic(func(tx *stm.Tx) error {
@@ -126,7 +214,7 @@ func tortureBank(rt *stm.Runtime, threads int, d time.Duration) {
 				return nil
 			})
 			if sum != nAcct*initial {
-				failf("bank: audit saw %d, want %d", sum, nAcct*initial)
+				h.failf("bank: audit saw %d, want %d", sum, nAcct*initial)
 			}
 			return
 		}
@@ -150,13 +238,12 @@ func tortureBank(rt *stm.Runtime, threads int, d time.Duration) {
 		total += a.Load()
 	}
 	if total != nAcct*initial {
-		failf("bank: final total %d, want %d", total, nAcct*initial)
+		h.failf("bank: final total %d, want %d", total, nAcct*initial)
 	}
 }
 
-func tortureTree(rt *stm.Runtime, threads int, d time.Duration) {
+func tortureTree(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
 	tree := ds.NewRBTree[int]()
-	var ops atomic.Int64
 	done := make(chan struct{})
 	go func() { // periodic validator
 		tick := time.NewTicker(100 * time.Millisecond)
@@ -167,13 +254,12 @@ func tortureTree(rt *stm.Runtime, threads int, d time.Duration) {
 				return
 			case <-tick.C:
 				if err := tree.Validate(); err != nil {
-					failf("tree: %v", err)
+					h.failf("tree: %v", err)
 				}
 			}
 		}
 	}()
-	runFor(threads, d, func(tid int, rng func(int) int64) {
-		ops.Add(1)
+	h.runFor(threads, d, func(tid int, rng func(int) int64) {
 		k := rng(1000)
 		switch rng(3) {
 		case 0, 1:
@@ -184,13 +270,13 @@ func tortureTree(rt *stm.Runtime, threads int, d time.Duration) {
 	})
 	close(done)
 	if err := tree.Validate(); err != nil {
-		failf("tree final: %v", err)
+		h.failf("tree final: %v", err)
 	}
 	var n int
 	var keys []int64
 	_ = rt.Atomic(func(tx *stm.Tx) error { n = tree.Len(tx); keys = tree.Keys(tx); return nil })
 	if n != len(keys) {
-		failf("tree: size %d != key count %d", n, len(keys))
+		h.failf("tree: size %d != key count %d", n, len(keys))
 	}
 }
 
@@ -199,12 +285,12 @@ type torturePair struct {
 	a, b stm.Var[int]
 }
 
-func tortureDefer(rt *stm.Runtime, threads int, d time.Duration) {
+func tortureDefer(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
 	pairs := make([]*torturePair, 8)
 	for i := range pairs {
 		pairs[i] = &torturePair{}
 	}
-	runFor(threads, d, func(tid int, rng func(int) int64) {
+	h.runFor(threads, d, func(tid int, rng func(int) int64) {
 		p := pairs[rng(len(pairs))]
 		if rng(4) == 0 { // writer: a transactionally, b deferred
 			_ = rt.Atomic(func(tx *stm.Tx) error {
@@ -226,20 +312,20 @@ func tortureDefer(rt *stm.Runtime, threads int, d time.Duration) {
 			return nil
 		})
 		if a != b {
-			failf("defer: observed a=%d b=%d", a, b)
+			h.failf("defer: observed a=%d b=%d", a, b)
 		}
 	})
 	for i, p := range pairs {
 		if p.Locked() {
-			failf("defer: pair %d lock leaked", i)
+			h.failf("defer: pair %d lock leaked", i)
 		}
 		if p.a.Load() != p.b.Load() {
-			failf("defer: final pair %d a=%d b=%d", i, p.a.Load(), p.b.Load())
+			h.failf("defer: final pair %d a=%d b=%d", i, p.a.Load(), p.b.Load())
 		}
 	}
 }
 
-func tortureLocks(rt *stm.Runtime, threads int, d time.Duration) {
+func tortureLocks(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
 	locks := make([]*txlock.Lock, 4)
 	for i := range locks {
 		locks[i] = txlock.NewLock()
@@ -247,7 +333,7 @@ func tortureLocks(rt *stm.Runtime, threads int, d time.Duration) {
 	shared := make([]int, len(locks)) // each protected by locks[i]
 	var mu sync.Mutex                 // protects expected counts
 	expected := make([]int, len(locks))
-	runFor(threads, d, func(tid int, rng func(int) int64) {
+	h.runFor(threads, d, func(tid int, rng func(int) int64) {
 		i, j := rng(len(locks)), rng(len(locks))
 		if i == j {
 			j = (j + 1) % int64(len(locks))
@@ -275,10 +361,16 @@ func tortureLocks(rt *stm.Runtime, threads int, d time.Duration) {
 	})
 	for i := range locks {
 		if locks[i].OwnerSnapshot() != 0 {
-			failf("locks: lock %d leaked", i)
+			h.failf("locks: lock %d leaked", i)
 		}
 		if shared[i] != expected[i] {
-			failf("locks: slot %d = %d, want %d (mutual exclusion violated)", i, shared[i], expected[i])
+			h.failf("locks: slot %d = %d, want %d (mutual exclusion violated)", i, shared[i], expected[i])
 		}
 	}
+}
+
+// tortureSelfcheck deliberately reports one failure so the nonzero-exit
+// path of the harness can be asserted by the package test.
+func tortureSelfcheck(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
+	h.failf("selfcheck: deliberate failure (harness exit-code test)")
 }

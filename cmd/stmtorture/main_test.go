@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every workload, in both execution modes, must hold its invariants and
+// produce a history the offline checker accepts, under fault injection.
+func TestRunWorkloadsClean(t *testing.T) {
+	for _, mode := range []string{"stm", "htm"} {
+		for _, wl := range []string{"bank", "tree", "defer", "locks"} {
+			t.Run(mode+"/"+wl, func(t *testing.T) {
+				t.Parallel()
+				var out, errb bytes.Buffer
+				code := run([]string{
+					"-duration", "150ms", "-threads", "4",
+					"-workload", wl, "-mode", mode,
+					"-check", "-inject", "-seed", "11",
+					"-maxops", "500",
+				}, &out, &errb)
+				if code != 0 {
+					t.Fatalf("exit code %d, want 0\nstdout:\n%s\nstderr:\n%s",
+						code, out.String(), errb.String())
+				}
+				if !strings.Contains(out.String(), "all properties hold") {
+					t.Fatalf("checker verdict missing from output:\n%s", out.String())
+				}
+				if !strings.Contains(out.String(), "all invariants held") {
+					t.Fatalf("success line missing:\n%s", out.String())
+				}
+			})
+		}
+	}
+}
+
+// failf must propagate to a nonzero exit code: the selfcheck workload
+// deliberately reports one failure.
+func TestFailurePathSetsExitCode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-duration", "10ms", "-workload", "selfcheck"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "deliberate failure") {
+		t.Fatalf("failf output missing:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "1 invariant violations") {
+		t.Fatalf("violation summary missing:\n%s", errb.String())
+	}
+}
+
+// Usage errors (bad flags, unknown mode or workload) exit with 2, not 0
+// and not a crash.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "tsx"},
+		{"-workload", "nonsense", "-duration", "10ms"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// The selfcheck workload must stay out of "all" so normal full runs
+// cannot be poisoned by the deliberate failure.
+func TestSelfcheckExcludedFromAll(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-duration", "20ms", "-threads", "2", "-maxops", "50"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\nstderr:\n%s", code, errb.String())
+	}
+	if strings.Contains(out.String(), "selfcheck") || strings.Contains(errb.String(), "selfcheck") {
+		t.Fatal("selfcheck ran as part of the default workload set")
+	}
+}

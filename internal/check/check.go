@@ -1,0 +1,450 @@
+// Package check verifies recorded STM execution histories offline. It
+// consumes the event stream produced by stm.Config.Recorder (see
+// internal/history) and mechanically checks the four properties the
+// runtime — and the atomic-deferral paper built on it — promises:
+//
+//  1. Final-state serializability: committed transactions, ordered by
+//     the version clock, form a serial history. Every read of a
+//     committed writer must be of the latest version older than its
+//     commit version; read-only transactions must have read one
+//     consistent snapshot. Commit versions must be unique.
+//  2. Opacity for aborted transactions: even an attempt that aborts
+//     must never have observed an inconsistent snapshot (TL2's
+//     incremental validation guarantees this; the checker verifies it).
+//  3. Deferral atomicity (the paper's core theorem): no transaction of
+//     another owner observes a deferrable object's lock between the
+//     owning transaction's commit and the deferred λ's completion, and
+//     each λ runs after its commit and before its locks are released.
+//  4. Two-phase locking of TxLocks for deferral units: once a unit
+//     (deferring transaction plus its λs) has begun releasing its
+//     deferral locks, its owner acquires no further lock before the
+//     unit completes.
+//
+// Cross-transaction facts are ordered by version-clock timestamps
+// (Event.Ver), never by recorder arrival order, because concurrent
+// transactions interleave in the log nondeterministically. Sequence
+// numbers are only used within a single owner's emission order, which
+// is goroutine-monotonic.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"deferstm/internal/stm"
+)
+
+// Rule names used in Violations.
+const (
+	RuleSerializability = "serializability"
+	RuleOpacity         = "opacity"
+	RuleDeferral        = "deferral-atomicity"
+	RuleTwoPhase        = "two-phase-locking"
+)
+
+// Violation is one property failure found in a history.
+type Violation struct {
+	Rule string
+	TxID uint64
+	Seq  uint64 // sequence of the offending event when known
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] tx=%d seq=%d: %s", v.Rule, v.TxID, v.Seq, v.Msg)
+}
+
+// Report is the checker's result over one history.
+type Report struct {
+	Violations []Violation
+	Commits    int
+	Aborts     int
+	Reads      int
+	Writes     int
+	DeferOps   int
+}
+
+// OK reports whether no property was violated.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "checked %d commits, %d aborts, %d reads, %d writes, %d deferred ops: ",
+		r.Commits, r.Aborts, r.Reads, r.Writes, r.DeferOps)
+	if r.OK() {
+		b.WriteString("all properties hold")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d violations", len(r.Violations))
+	for i, v := range r.Violations {
+		if i == 20 {
+			fmt.Fprintf(&b, "\n  ... %d more", len(r.Violations)-i)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// History checks all four properties over the given events. Events are
+// interpreted in slice order; Seq fields are renumbered from 1 so
+// hand-written histories need not fill them in.
+func History(events []stm.Event) *Report {
+	p := parse(events)
+	r := &Report{
+		Commits:  p.commits,
+		Aborts:   p.aborts,
+		Reads:    p.reads,
+		Writes:   p.writeCount,
+		DeferOps: len(p.unitOrder),
+	}
+	r.Violations = append(r.Violations, checkSerializability(p)...)
+	r.Violations = append(r.Violations, checkOpacity(p)...)
+	r.Violations = append(r.Violations, checkDeferral(p)...)
+	r.Violations = append(r.Violations, checkTwoPhase(p)...)
+	return r
+}
+
+type readRec struct {
+	varID uint64
+	ver   uint64
+	seq   uint64
+}
+
+type txInfo struct {
+	id         uint64
+	owner      stm.OwnerID
+	reads      []readRec
+	nWrites    int
+	committed  bool
+	commitVer  uint64
+	commitSeq  uint64
+	serial     bool
+	aborted    bool
+	abortCause uint64
+	abortSeq   uint64
+}
+
+type deferUnit struct {
+	op       uint64
+	txID     uint64
+	owner    stm.OwnerID
+	lockVars []uint64
+	startSeq uint64
+	endSeq   uint64
+}
+
+type varVer struct{ varID, ver uint64 }
+
+type parsed struct {
+	txs       map[uint64]*txInfo
+	order     []*txInfo // first-seen order
+	writes    map[uint64][]uint64 // varID -> ascending commit versions
+	verOwner  map[uint64]uint64   // commit version -> txID (^0 = direct write)
+	dupVer    []Violation         // duplicate-commit-version findings
+	units     map[uint64]*deferUnit
+	unitOrder []*deferUnit
+	lockEvs   []stm.Event // acquire/release events, in sequence order
+
+	commits, aborts, reads, writeCount int
+}
+
+const directWriter = ^uint64(0)
+
+func parse(events []stm.Event) *parsed {
+	p := &parsed{
+		txs:      make(map[uint64]*txInfo),
+		writes:   make(map[uint64][]uint64),
+		verOwner: make(map[uint64]uint64),
+		units:    make(map[uint64]*deferUnit),
+	}
+	tx := func(id uint64, owner stm.OwnerID) *txInfo {
+		t, ok := p.txs[id]
+		if !ok {
+			t = &txInfo{id: id, owner: owner}
+			p.txs[id] = t
+			p.order = append(p.order, t)
+		}
+		if t.owner == 0 {
+			t.owner = owner
+		}
+		return t
+	}
+	unit := func(op uint64) *deferUnit {
+		u, ok := p.units[op]
+		if !ok {
+			u = &deferUnit{op: op}
+			p.units[op] = u
+			p.unitOrder = append(p.unitOrder, u)
+		}
+		return u
+	}
+	noteWrite := func(writer uint64, varID, ver, _ uint64) {
+		p.writes[varID] = append(p.writes[varID], ver)
+		p.writeCount++
+		if prev, ok := p.verOwner[ver]; ok {
+			if prev != writer {
+				p.dupVer = append(p.dupVer, Violation{
+					Rule: RuleSerializability, TxID: writer,
+					Msg: fmt.Sprintf("commit version %d used by two writers (tx %d and tx %d)", ver, prev, writer),
+				})
+			}
+		} else {
+			p.verOwner[ver] = writer
+		}
+	}
+
+	for i, ev := range events {
+		seq := uint64(i + 1)
+		switch ev.Kind {
+		case stm.EvBegin:
+			tx(ev.TxID, ev.Owner)
+		case stm.EvRead:
+			t := tx(ev.TxID, ev.Owner)
+			t.reads = append(t.reads, readRec{varID: ev.Var, ver: ev.Ver, seq: seq})
+			p.reads++
+		case stm.EvWrite:
+			t := tx(ev.TxID, ev.Owner)
+			t.nWrites++
+			noteWrite(ev.TxID, ev.Var, ev.Ver, seq)
+		case stm.EvDirectWrite:
+			noteWrite(directWriter, ev.Var, ev.Ver, seq)
+		case stm.EvCommit:
+			t := tx(ev.TxID, ev.Owner)
+			t.committed = true
+			t.commitVer = ev.Ver
+			t.commitSeq = seq
+			t.serial = ev.Aux == stm.AuxSerial
+			p.commits++
+		case stm.EvAbort:
+			t := tx(ev.TxID, ev.Owner)
+			t.aborted = true
+			t.abortCause = ev.Aux
+			t.abortSeq = seq
+			p.aborts++
+		case stm.EvLockAcquire, stm.EvLockRelease:
+			ev.Seq = seq
+			p.lockEvs = append(p.lockEvs, ev)
+		case stm.EvDeferEnqueue:
+			u := unit(ev.Aux)
+			u.txID = ev.TxID
+			u.owner = ev.Owner
+		case stm.EvDeferLock:
+			u := unit(ev.Aux)
+			u.lockVars = append(u.lockVars, ev.Var)
+		case stm.EvDeferStart:
+			unit(ev.Aux).startSeq = seq
+		case stm.EvDeferEnd:
+			unit(ev.Aux).endSeq = seq
+		}
+	}
+	for _, vs := range p.writes {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+	return p
+}
+
+// writeIn reports whether some recorded write to varID has a version in
+// (lo, hi) — exclusive — or (lo, hi] when inclusive is set.
+func (p *parsed) writeIn(varID, lo, hi uint64, inclusive bool) (uint64, bool) {
+	vs := p.writes[varID]
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] > lo })
+	if i == len(vs) {
+		return 0, false
+	}
+	if vs[i] < hi || (inclusive && vs[i] == hi) {
+		return vs[i], true
+	}
+	return 0, false
+}
+
+// maxReadVer returns the newest version in a read set.
+func maxReadVer(reads []readRec) uint64 {
+	var t uint64
+	for _, r := range reads {
+		if r.ver > t {
+			t = r.ver
+		}
+	}
+	return t
+}
+
+// snapshotViolations verifies that a read set could have been taken as
+// one atomic snapshot: there must exist a clock instant t at which every
+// read value was still current. Such a t exists iff no read has an
+// intervening write between its version and the newest read version.
+func (p *parsed) snapshotViolations(t *txInfo, rule, what string) []Violation {
+	var out []Violation
+	top := maxReadVer(t.reads)
+	for _, r := range t.reads {
+		if w, ok := p.writeIn(r.varID, r.ver, top, true); ok {
+			out = append(out, Violation{
+				Rule: rule, TxID: t.id, Seq: r.seq,
+				Msg: fmt.Sprintf("%s: read var %d at version %d alongside a read at version %d, but var %d was overwritten at version %d — no consistent snapshot exists",
+					what, r.varID, r.ver, top, r.varID, w),
+			})
+		}
+	}
+	return out
+}
+
+func checkSerializability(p *parsed) []Violation {
+	out := append([]Violation(nil), p.dupVer...)
+	for _, t := range p.order {
+		if !t.committed || t.serial {
+			// Serial transactions run alone with direct reads (none
+			// recorded); their writes participate via verOwner/writes.
+			continue
+		}
+		if t.nWrites > 0 {
+			// Writer serialized at its commit version: every read must
+			// still be the latest committed version at that point.
+			for _, r := range t.reads {
+				if w, ok := p.writeIn(r.varID, r.ver, t.commitVer, false); ok {
+					out = append(out, Violation{
+						Rule: RuleSerializability, TxID: t.id, Seq: r.seq,
+						Msg: fmt.Sprintf("committed at version %d but read var %d at version %d, which version %d had already overwritten — commit order is not serializable",
+							t.commitVer, r.varID, r.ver, w),
+					})
+				}
+			}
+		} else {
+			out = append(out, p.snapshotViolations(t, RuleSerializability, "read-only commit")...)
+		}
+	}
+	return out
+}
+
+func checkOpacity(p *parsed) []Violation {
+	var out []Violation
+	for _, t := range p.order {
+		if !t.aborted || len(t.reads) == 0 {
+			continue
+		}
+		out = append(out, p.snapshotViolations(t, RuleOpacity, "aborted attempt")...)
+	}
+	return out
+}
+
+func checkDeferral(p *parsed) []Violation {
+	var out []Violation
+	// Index deferral-lock acquisitions by (lock var, acquire version):
+	// a read of that exact pair observed the lock mid-deferral (held,
+	// value = the deferring owner).
+	acq := make(map[varVer]*deferUnit)
+	for _, u := range p.unitOrder {
+		t := p.txs[u.txID]
+		if t == nil || !t.committed {
+			out = append(out, Violation{
+				Rule: RuleDeferral, TxID: u.txID,
+				Msg: fmt.Sprintf("deferred op %d enqueued by a transaction with no recorded commit", u.op),
+			})
+			continue
+		}
+		if u.startSeq == 0 {
+			out = append(out, Violation{
+				Rule: RuleDeferral, TxID: u.txID,
+				Msg: fmt.Sprintf("deferred op %d never ran after its transaction committed", u.op),
+			})
+		} else {
+			if u.startSeq < t.commitSeq {
+				out = append(out, Violation{
+					Rule: RuleDeferral, TxID: u.txID, Seq: u.startSeq,
+					Msg: fmt.Sprintf("deferred op %d started before its transaction committed", u.op),
+				})
+			}
+			if u.endSeq != 0 && u.endSeq < u.startSeq {
+				out = append(out, Violation{
+					Rule: RuleDeferral, TxID: u.txID, Seq: u.endSeq,
+					Msg: fmt.Sprintf("deferred op %d ended before it started", u.op),
+				})
+			}
+		}
+		for _, v := range u.lockVars {
+			acq[varVer{v, t.commitVer}] = u
+		}
+	}
+	if len(acq) == 0 {
+		return out
+	}
+	for _, t := range p.order {
+		if !t.committed {
+			continue // aborted observers retried correctly
+		}
+		for _, r := range t.reads {
+			u, ok := acq[varVer{r.varID, r.ver}]
+			if !ok || t.id == u.txID || t.owner == u.owner {
+				continue
+			}
+			out = append(out, Violation{
+				Rule: RuleDeferral, TxID: t.id, Seq: r.seq,
+				Msg: fmt.Sprintf("owner %d committed after observing deferral lock (var %d) held by owner %d between its commit (version %d) and λ %d's completion — deferral atomicity violated",
+					t.owner, r.varID, u.owner, r.ver, u.op),
+			})
+		}
+	}
+	return out
+}
+
+func checkTwoPhase(p *parsed) []Violation {
+	var out []Violation
+	// Group units by deferring transaction: the 2PL entity is the
+	// transaction plus all of its deferred operations.
+	type span struct {
+		txID     uint64
+		owner    stm.OwnerID
+		startSeq uint64 // commit of the deferring transaction
+		endSeq   uint64 // last λ completion
+		lockVars map[uint64]bool
+	}
+	spans := make(map[uint64]*span)
+	for _, u := range p.unitOrder {
+		t := p.txs[u.txID]
+		if t == nil || !t.committed || u.endSeq == 0 {
+			continue
+		}
+		s, ok := spans[u.txID]
+		if !ok {
+			s = &span{txID: u.txID, owner: u.owner, startSeq: t.commitSeq, lockVars: make(map[uint64]bool)}
+			spans[u.txID] = s
+		}
+		if u.endSeq > s.endSeq {
+			s.endSeq = u.endSeq
+		}
+		for _, v := range u.lockVars {
+			s.lockVars[v] = true
+		}
+	}
+	for _, s := range spans {
+		// First release of one of the unit's own deferral locks marks
+		// the start of the shrink phase; any acquisition by the same
+		// owner after that point breaks two-phase locking.
+		firstRel := uint64(0)
+		for _, ev := range p.lockEvs {
+			if ev.Owner != s.owner || ev.Seq < s.startSeq || ev.Seq > s.endSeq {
+				continue
+			}
+			if ev.Kind == stm.EvLockRelease && s.lockVars[ev.Var] {
+				if firstRel == 0 || ev.Seq < firstRel {
+					firstRel = ev.Seq
+				}
+			}
+		}
+		if firstRel == 0 {
+			continue
+		}
+		for _, ev := range p.lockEvs {
+			if ev.Kind == stm.EvLockAcquire && ev.Owner == s.owner &&
+				ev.Seq > firstRel && ev.Seq <= s.endSeq {
+				out = append(out, Violation{
+					Rule: RuleTwoPhase, TxID: s.txID, Seq: ev.Seq,
+					Msg: fmt.Sprintf("owner %d acquired lock var %d after beginning to release deferral locks (first release at seq %d) — acquire phase reopened before the unit completed",
+						s.owner, ev.Var, firstRel),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -26,9 +26,15 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"deferstm/internal/stm"
 	"deferstm/internal/txlock"
 )
+
+// opIDCtr numbers deferred operations for history recording; IDs are
+// global so histories from several runtimes never collide.
+var opIDCtr atomic.Uint64
 
 // Object is the type-erased view of a deferrable object: anything that
 // embeds Deferrable satisfies it. AtomicDefer accepts Objects so user
@@ -125,6 +131,11 @@ func Store[T any](c *OpCtx, v *stm.Var[T], x T) { v.StoreDirect(c.rt, x) }
 func AtomicDefer(tx *stm.Tx, op Op, objs ...Object) {
 	me := tx.Owner()
 	rt := tx.Runtime()
+	var opID uint64
+	if rt.Recording() {
+		opID = opIDCtr.Add(1)
+		tx.RecordOnCommit(stm.Event{Kind: stm.EvDeferEnqueue, Owner: me, Aux: opID})
+	}
 	// Acquire phase (two-phase locking): all locks the operation needs,
 	// acquired within the transaction.
 	locks := make([]*txlock.Lock, 0, len(objs))
@@ -135,8 +146,14 @@ func AtomicDefer(tx *stm.Tx, op Op, objs ...Object) {
 		l := o.deferrableLock()
 		l.AcquireAs(tx, me)
 		locks = append(locks, l)
+		if opID != 0 {
+			tx.RecordOnCommit(stm.Event{Kind: stm.EvDeferLock, Owner: me, Aux: opID, Var: l.VarID()})
+		}
 	}
 	tx.AfterCommit(func() {
+		if opID != 0 {
+			rt.RecordEvent(stm.Event{Kind: stm.EvDeferStart, Owner: me, Aux: opID})
+		}
 		ctx := &OpCtx{rt: rt, owner: me}
 		defer func() {
 			// Release phase: even if the operation panics, the locks
@@ -144,6 +161,9 @@ func AtomicDefer(tx *stm.Tx, op Op, objs ...Object) {
 			// forever); release, then let the panic propagate.
 			releaseAll(rt, me, locks)
 			rt.Stats().DeferredOps.Add(1)
+			if opID != 0 {
+				rt.RecordEvent(stm.Event{Kind: stm.EvDeferEnd, Owner: me, Aux: opID})
+			}
 		}()
 		op(ctx)
 	})

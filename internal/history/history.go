@@ -1,0 +1,92 @@
+// Package history records stm runtime events into an in-memory log that
+// internal/check can verify offline. A Log is an stm.Recorder: attach it
+// via stm.Config.Recorder and every transactional action (begin, read,
+// write, commit, abort, quiescence, lock and deferral transitions) is
+// appended with a global sequence number.
+//
+// The log is append-only under a mutex. That serializes recording, which
+// perturbs timing slightly — acceptable for a checking harness, and the
+// perturbation only shrinks the windows the fault injector re-widens.
+package history
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"deferstm/internal/stm"
+)
+
+// Log is a thread-safe, append-only event log implementing stm.Recorder.
+type Log struct {
+	mu      sync.Mutex
+	events  []stm.Event
+	seq     uint64
+	limit   int // 0 = unbounded
+	dropped uint64
+}
+
+// New returns an unbounded Log.
+func New() *Log { return &Log{} }
+
+// NewBounded returns a Log that stops recording after limit events,
+// counting the overflow in Dropped. A truncated history can produce
+// checker false positives (e.g. a lock release falling past the limit),
+// so Dropped should be checked before trusting a verdict.
+func NewBounded(limit int) *Log { return &Log{limit: limit} }
+
+// Record implements stm.Recorder.
+func (l *Log) Record(ev stm.Event) {
+	l.mu.Lock()
+	if l.limit > 0 && len(l.events) >= l.limit {
+		l.dropped++
+		l.mu.Unlock()
+		return
+	}
+	l.seq++
+	ev.Seq = l.seq
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in sequence order.
+func (l *Log) Events() []stm.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]stm.Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Dropped reports how many events were discarded due to the bound.
+func (l *Log) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Reset discards all recorded events (the sequence counter keeps
+// advancing so sequence numbers stay unique across resets).
+func (l *Log) Reset() {
+	l.mu.Lock()
+	l.events = l.events[:0]
+	l.dropped = 0
+	l.mu.Unlock()
+}
+
+// Dump writes the history in a line-oriented human-readable form.
+func (l *Log) Dump(w io.Writer) error {
+	for _, ev := range l.Events() {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -62,6 +62,9 @@ func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) e
 		if outcome.committed || outcome.userErr != nil {
 			if outcome.userErr != nil {
 				rt.stats.UserAborts.Add(1)
+				if rt.rec != nil {
+					rt.recEvent(Event{Kind: EvAbort, TxID: tx.id, Owner: tx.owner, Aux: AbortCauseUser})
+				}
 				tx.reset()
 				rt.txPool.Put(tx)
 				return outcome.userErr
@@ -76,6 +79,11 @@ func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) e
 			tx.reset()
 			rt.txPool.Put(tx)
 			rt.stats.Commits.Add(1)
+			// Injected stall in the commit→λ window: deferral locks are
+			// held but the deferred operations have not yet run.
+			if len(hooks) > 0 && rt.inj.stallPreHook() {
+				rt.stats.InjectedFaults.Add(1)
+			}
 			for _, h := range hooks {
 				h()
 			}
@@ -86,6 +94,10 @@ func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) e
 		}
 
 		// Aborted: decide what to do before re-executing.
+		if rt.rec != nil {
+			rt.recEvent(Event{Kind: EvAbort, TxID: tx.id, Owner: tx.owner,
+				Aux: uint64(outcome.sig.reason)})
+		}
 		switch outcome.sig.reason {
 		case abortExplicitRetry:
 			rt.waitForReadSetChange(tx)
@@ -120,6 +132,10 @@ func (rt *Runtime) runOptimistic(tx *Tx, fn func(tx *Tx) error) (out txOutcome) 
 	tx.slotIdx = idx
 	tx.active = true
 	tx.htm = rt.cfg.Mode == ModeHTM
+	tx.slow = tx.htm || rt.rec != nil
+	if rt.rec != nil {
+		tx.beginRecord(rv)
+	}
 
 	defer func() {
 		tx.active = false
@@ -160,7 +176,13 @@ func (rt *Runtime) runOptimistic(tx *Tx, fn func(tx *Tx) error) (out txOutcome) 
 		// (Listing 1: "STM-only: ensure transaction finishes before λs
 		// run").
 		if !tx.htm {
+			if rt.rec != nil {
+				rt.recEvent(Event{Kind: EvQuiesceStart, TxID: tx.id, Owner: tx.owner, Ver: wv})
+			}
 			rt.quiesce(wv, -1)
+			if rt.rec != nil {
+				rt.recEvent(Event{Kind: EvQuiesceEnd, TxID: tx.id, Owner: tx.owner, Ver: wv})
+			}
 		}
 	}
 	return txOutcome{committed: true}
@@ -187,9 +209,19 @@ func (tx *Tx) commitWriteBack() (uint64, bool) {
 		// current clock so those run after all concurrent readers of
 		// pre-commit state are done.
 		if len(tx.hooks) != 0 || len(tx.frees) != 0 {
-			return tx.rt.clock.Load(), true
+			wv := tx.rt.clock.Load()
+			tx.flushCommitEvents(0, 0)
+			return wv, true
 		}
+		tx.flushCommitEvents(0, 0)
 		return 0, true
+	}
+
+	// Injected conflict: behave exactly as if commit-time validation
+	// had failed, exercising the abort/backoff/serialization paths.
+	if tx.rt.inj.hitConflict() {
+		tx.rt.stats.InjectedFaults.Add(1)
+		return 0, false
 	}
 
 	tx.sortWrites()
@@ -215,12 +247,19 @@ func (tx *Tx) commitWriteBack() (uint64, bool) {
 		return 0, false
 	}
 
+	// Injected write-back delay: hold the commit locks longer before
+	// publishing, so concurrent readers collide with the locked window.
+	if tx.rt.inj.stallWriteBack() {
+		tx.rt.stats.InjectedFaults.Add(1)
+	}
+
 	for i := range tx.writes {
 		e := &tx.writes[i]
 		e.v.publish(e.pending)
 		e.m.owner.Store(nil)
 		e.m.lock.Store(packVersion(wv))
 	}
+	tx.flushCommitEvents(wv, 0)
 	return wv, true
 }
 
@@ -261,7 +300,11 @@ func (rt *Runtime) runSerial(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
 	tx.slotIdx = -1
 	tx.serial = true
 	tx.htm = false
+	tx.slow = rt.rec != nil
 	tx.active = true
+	if rt.rec != nil {
+		tx.beginRecord(tx.rv)
+	}
 
 	release := func() {
 		rt.serialWant.Add(-1)
@@ -292,14 +335,16 @@ func (rt *Runtime) runSerial(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
 		return txOutcome{userErr: err}
 	}
 
+	var wv uint64
 	if len(tx.writes) > 0 {
-		wv := tx.rt.clock.Add(1)
+		wv = tx.rt.clock.Add(1)
 		for i := range tx.writes {
 			e := &tx.writes[i]
 			e.v.publish(e.pending)
 			e.m.lock.Store(packVersion(wv))
 		}
 	}
+	tx.flushCommitEvents(wv, AuxSerial)
 	tx.active = false
 	release()
 	rt.notifyCommit()

@@ -1,0 +1,196 @@
+package stm
+
+import "fmt"
+
+// EventKind discriminates history events. The runtime emits events only
+// when a Recorder is attached (Config.Recorder); cooperating packages
+// (core, txlock) emit their own kinds through RecordEvent/RecordOnCommit.
+type EventKind uint8
+
+const (
+	EvNone EventKind = iota
+
+	// EvBegin marks the start of one transaction attempt. Ver is the
+	// attempt's read version (its TL2 begin snapshot).
+	EvBegin
+	// EvRead records a transactional read that returned to the user:
+	// Var is the variable, Ver the commit version of the value observed.
+	// Serial-mode reads are not recorded (the transaction runs alone).
+	EvRead
+	// EvWrite records one published write of a committing transaction.
+	// Ver is the commit (write) version shared by all of the
+	// transaction's writes.
+	EvWrite
+	// EvCommit marks a successful commit. Ver is the write version (0
+	// for a read-only commit with no hooks); Aux is AuxSerial for a
+	// serial-mode commit.
+	EvCommit
+	// EvAbort marks the end of a failed attempt. Aux is an AbortCause*
+	// constant. The attempt's EvRead events precede it with the same
+	// TxID; the opacity checker validates that read set.
+	EvAbort
+	// EvQuiesceStart/End bracket a committer's privatization-safety
+	// wait. Ver is the commit version being quiesced for.
+	EvQuiesceStart
+	EvQuiesceEnd
+	// EvDirectWrite records a non-transactional StoreDirect publish
+	// (used by deferred operations). Var/Ver as for EvWrite; TxID is 0.
+	EvDirectWrite
+
+	// Lock events are queued by package txlock during the attempt and
+	// flushed only if the attempt commits, carrying the commit version.
+	// Var is the lock's owner-variable ID, Owner the acting identity.
+	EvLockAcquire   // Aux = resulting reentrancy depth
+	EvLockRelease   // Aux = remaining depth (0 = fully released)
+	EvLockSubscribe // Aux = owner observed (0 or the subscriber itself)
+
+	// Deferral events are emitted by package core. Aux is the deferred
+	// operation ID in all four.
+	EvDeferEnqueue // queued at the deferring transaction's commit
+	EvDeferLock    // one per protected object: Var = lock owner-var ID
+	EvDeferStart   // the deferred λ begins executing
+	EvDeferEnd     // the λ finished and its locks were released
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvBegin:
+		return "begin"
+	case EvRead:
+		return "read"
+	case EvWrite:
+		return "write"
+	case EvCommit:
+		return "commit"
+	case EvAbort:
+		return "abort"
+	case EvQuiesceStart:
+		return "quiesce-start"
+	case EvQuiesceEnd:
+		return "quiesce-end"
+	case EvDirectWrite:
+		return "direct-write"
+	case EvLockAcquire:
+		return "lock-acquire"
+	case EvLockRelease:
+		return "lock-release"
+	case EvLockSubscribe:
+		return "lock-subscribe"
+	case EvDeferEnqueue:
+		return "defer-enqueue"
+	case EvDeferLock:
+		return "defer-lock"
+	case EvDeferStart:
+		return "defer-start"
+	case EvDeferEnd:
+		return "defer-end"
+	default:
+		return "event(?)"
+	}
+}
+
+// Abort causes reported in EvAbort.Aux.
+const (
+	AbortCauseConflict = uint64(abortConflict)
+	AbortCauseCapacity = uint64(abortCapacity)
+	AbortCauseSyscall  = uint64(abortSyscall)
+	AbortCauseRetry    = uint64(abortExplicitRetry)
+	AbortCauseEscalate = uint64(abortEscalate)
+	AbortCauseUser     = 64 // fn returned a non-nil error
+)
+
+// AuxSerial marks a serial-mode commit in EvCommit.Aux.
+const AuxSerial = 1
+
+// Event is one entry of a recorded execution history. Fields not
+// meaningful for a kind are zero. Seq is assigned by the Recorder (the
+// runtime leaves it 0); within one goroutine's emission order it is
+// monotonic, but events of concurrent transactions interleave in
+// recorder-arrival order, so checkers order cross-transaction facts by
+// Ver (version-clock timestamps), not Seq.
+type Event struct {
+	Seq   uint64
+	Kind  EventKind
+	TxID  uint64 // per-attempt unique ID (0 for non-transactional events)
+	Owner OwnerID
+	Var   uint64 // variable ID (see Var.ID)
+	Ver   uint64 // version-clock timestamp
+	Aux   uint64 // kind-specific (see the kind constants)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s tx=%d owner=%d var=%d ver=%d aux=%d",
+		e.Seq, e.Kind, e.TxID, e.Owner, e.Var, e.Ver, e.Aux)
+}
+
+// Recorder consumes runtime events. Implementations must be safe for
+// concurrent use; Record is called from transaction goroutines on hot
+// paths, so it should be cheap (package history provides an append-only
+// log). A nil Config.Recorder disables recording entirely — every hook
+// site guards with a single pointer test.
+type Recorder interface {
+	Record(Event)
+}
+
+// recEvent emits ev to the attached recorder, if any.
+func (rt *Runtime) recEvent(ev Event) {
+	if rt.rec != nil {
+		rt.rec.Record(ev)
+	}
+}
+
+// RecordEvent lets cooperating packages (core, txlock) emit events into
+// the runtime's recorder. It is a no-op when no recorder is attached.
+func (rt *Runtime) RecordEvent(ev Event) { rt.recEvent(ev) }
+
+// Recording reports whether a recorder is attached.
+func (rt *Runtime) Recording() bool { return rt.rec != nil }
+
+// ID returns this attempt's unique transaction ID (0 when no recorder
+// is attached; IDs are only assigned while recording).
+func (tx *Tx) ID() uint64 { return tx.id }
+
+// RecordOnCommit queues ev to be emitted if and when the current
+// attempt commits. The flush fills in TxID and, if ev.Ver is zero, the
+// commit version. Queued events are discarded if the attempt aborts —
+// this is how txlock records only lock transitions that took effect.
+func (tx *Tx) RecordOnCommit(ev Event) {
+	if tx.rt.rec == nil {
+		return
+	}
+	tx.pendEvs = append(tx.pendEvs, ev)
+}
+
+// beginRecord assigns a fresh transaction ID and emits EvBegin.
+// Called once per attempt, only while recording.
+func (tx *Tx) beginRecord(rv uint64) {
+	tx.id = tx.rt.txIDCtr.Add(1)
+	tx.rt.rec.Record(Event{Kind: EvBegin, TxID: tx.id, Owner: tx.owner, Ver: rv})
+}
+
+// flushCommitEvents emits the attempt's buffered writes, queued lock and
+// deferral events, and the final EvCommit. wv is the commit version (0
+// for a hook-free read-only commit); aux tags serial commits.
+func (tx *Tx) flushCommitEvents(wv uint64, aux uint64) {
+	rec := tx.rt.rec
+	if rec == nil {
+		return
+	}
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		rec.Record(Event{Kind: EvWrite, TxID: tx.id, Owner: tx.owner, Var: e.m.id, Ver: wv})
+	}
+	fill := wv
+	if fill == 0 {
+		fill = tx.rv // read-only commit: stamp queued events with the snapshot
+	}
+	for _, ev := range tx.pendEvs {
+		ev.TxID = tx.id
+		if ev.Ver == 0 {
+			ev.Ver = fill
+		}
+		rec.Record(ev)
+	}
+	tx.pendEvs = tx.pendEvs[:0]
+	rec.Record(Event{Kind: EvCommit, TxID: tx.id, Owner: tx.owner, Ver: wv, Aux: aux})
+}

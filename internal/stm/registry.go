@@ -76,6 +76,11 @@ func (rt *Runtime) quiesce(wv uint64, selfIdx int) {
 	if rt.cfg.DisableQuiescence {
 		return
 	}
+	// Injected stall inside quiescence: lengthen the privatization wait
+	// so deferred operations run later relative to concurrent readers.
+	if rt.inj.stallQuiesce() {
+		rt.stats.InjectedFaults.Add(1)
+	}
 	start := time.Now()
 	waited := false
 	for i := range rt.slots {

@@ -24,6 +24,7 @@ type Stats struct {
 	QuiesceNanos   atomic.Uint64 // total nanoseconds spent waiting in quiesce
 	DeferredOps    atomic.Uint64 // AfterCommit hooks executed (set by core)
 	DeferredFrees  atomic.Uint64 // QueueFree actions executed (set by mempool)
+	InjectedFaults atomic.Uint64 // faults fired by Config.Inject
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -42,6 +43,7 @@ type StatsSnapshot struct {
 	QuiesceNanos   uint64
 	DeferredOps    uint64
 	DeferredFrees  uint64
+	InjectedFaults uint64
 }
 
 // Stats returns a pointer to the live counters (for incrementing by
@@ -66,6 +68,7 @@ func (rt *Runtime) Snapshot() StatsSnapshot {
 		QuiesceNanos:   s.QuiesceNanos.Load(),
 		DeferredOps:    s.DeferredOps.Load(),
 		DeferredFrees:  s.DeferredFrees.Load(),
+		InjectedFaults: s.InjectedFaults.Load(),
 	}
 }
 
@@ -86,6 +89,7 @@ func (s StatsSnapshot) Sub(old StatsSnapshot) StatsSnapshot {
 		QuiesceNanos:   s.QuiesceNanos - old.QuiesceNanos,
 		DeferredOps:    s.DeferredOps - old.DeferredOps,
 		DeferredFrees:  s.DeferredFrees - old.DeferredFrees,
+		InjectedFaults: s.InjectedFaults - old.InjectedFaults,
 	}
 }
 
@@ -97,9 +101,9 @@ func (s StatsSnapshot) Aborts() uint64 {
 
 func (s StatsSnapshot) String() string {
 	return fmt.Sprintf(
-		"commits=%d aborts(conflict=%d capacity=%d syscall=%d) retries=%d serializations=%d serialRuns=%d quiesce(waits=%d ms=%.1f) deferred(ops=%d frees=%d)",
+		"commits=%d aborts(conflict=%d capacity=%d syscall=%d) retries=%d serializations=%d serialRuns=%d quiesce(waits=%d ms=%.1f) deferred(ops=%d frees=%d) injected=%d",
 		s.Commits, s.AbortsConflict, s.AbortsCapacity, s.AbortsSyscall,
 		s.Retries, s.Serializations, s.SerialRuns,
 		s.QuiesceWaits, float64(s.QuiesceNanos)/1e6,
-		s.DeferredOps, s.DeferredFrees)
+		s.DeferredOps, s.DeferredFrees, s.InjectedFaults)
 }

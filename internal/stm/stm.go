@@ -111,6 +111,18 @@ type Config struct {
 	// exists for the Figure 1 ablation that measures how much of the
 	// baseline's stall is quiescence.
 	DisableQuiescence bool
+
+	// Recorder, when non-nil, receives an Event for every transactional
+	// action (begin, read, write, commit, abort, quiesce, lock and
+	// deferral transitions), timestamped with version-clock values so
+	// the history can be checked offline by internal/check. Nil (the
+	// default) disables recording; every emission site is guarded by a
+	// single nil test, so the disabled cost is one predictable branch.
+	Recorder Recorder
+
+	// Inject, when non-nil, enables seeded fault injection (forced
+	// aborts and stalls at adversarial points). See Inject.
+	Inject *Inject
 }
 
 func (c Config) withDefaults() Config {
@@ -175,6 +187,10 @@ type Runtime struct {
 	retryWaiters atomic.Int64
 
 	ownerCtr atomic.Uint64
+	txIDCtr  atomic.Uint64 // history transaction IDs (recording only)
+
+	rec Recorder  // nil = recording disabled
+	inj *injector // nil = fault injection disabled
 
 	txPool sync.Pool
 
@@ -187,6 +203,10 @@ func New(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:   cfg,
 		slots: make([]slot, cfg.MaxThreads),
+		rec:   cfg.Recorder,
+	}
+	if cfg.Inject != nil {
+		rt.inj = newInjector(*cfg.Inject)
 	}
 	ch := make(chan struct{})
 	rt.retryCh.Store(&ch)

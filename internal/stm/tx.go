@@ -66,6 +66,7 @@ type Tx struct {
 	active bool
 	serial bool
 	htm    bool
+	slow   bool // htm mode or recorder attached: per-read slow path
 
 	owner    OwnerID
 	attempts int
@@ -78,6 +79,10 @@ type Tx struct {
 	// post-commit pipeline
 	hooks []func() // ordered deferred operations (package core)
 	frees []func() // deferred reclamation, after hooks (Listing 1)
+
+	// history recording (Config.Recorder non-nil)
+	id      uint64  // per-attempt transaction ID
+	pendEvs []Event // events flushed only if this attempt commits
 
 	rng uint64 // xorshift for backoff jitter
 }
@@ -115,8 +120,25 @@ func (tx *Tx) mustBeActive() {
 
 func (tx *Tx) recordRead(m *varMeta, word uint64) {
 	tx.reads = append(tx.reads, readEntry{m: m, ver: word})
+	if tx.slow {
+		tx.recordReadSlow(m, word)
+	}
+}
+
+// recordReadSlow carries the recording and simulated-HTM sides of a
+// read. tx.slow is precomputed at begin (htm mode, or a recorder
+// attached) so the common path — no recorder, ModeSTM — costs one
+// predictable branch and stays within the inlining budget.
+func (tx *Tx) recordReadSlow(m *varMeta, word uint64) {
+	if tx.rt.rec != nil {
+		tx.rt.rec.Record(Event{Kind: EvRead, TxID: tx.id, Owner: tx.owner,
+			Var: m.id, Ver: wordVersion(word)})
+	}
 	if tx.htm {
 		tx.htmReadLines++
+		if tx.rt.inj != nil {
+			tx.injectCapacity()
+		}
 		tx.checkCapacity()
 	}
 }
@@ -151,6 +173,16 @@ func (tx *Tx) HTMTouch(readBytes, writeBytes int) {
 func (tx *Tx) checkCapacity() {
 	if tx.htmReadLines > tx.rt.cfg.HTMReadLines ||
 		tx.htmWriteLines > tx.rt.cfg.HTMWriteLines {
+		tx.rt.stats.AbortsCapacity.Add(1)
+		panic(txSignal{abortCapacity})
+	}
+}
+
+// injectCapacity fires a forced capacity abort with probability
+// Inject.CapacityPct, from the per-read slow path of HTM transactions.
+func (tx *Tx) injectCapacity() {
+	if tx.rt.inj.hitCapacity() {
+		tx.rt.stats.InjectedFaults.Add(1)
 		tx.rt.stats.AbortsCapacity.Add(1)
 		panic(txSignal{abortCapacity})
 	}
@@ -284,11 +316,13 @@ func (tx *Tx) reset() {
 	}
 	tx.hooks = nil // moved out or discarded; never reused across attempts
 	tx.frees = nil
+	tx.pendEvs = tx.pendEvs[:0]
 	tx.htmReadLines = 0
 	tx.htmWriteLines = 0
 	tx.active = false
 	tx.serial = false
 	tx.htm = false
+	tx.slow = false
 }
 
 func (tx *Tx) String() string {

@@ -71,6 +71,13 @@ func (v *Var[T]) ensureID() {
 	}
 }
 
+// ID returns the Var's unique identifier, as used in recorded history
+// events (Event.Var), assigning one if the Var has never been written.
+func (v *Var[T]) ID() uint64 {
+	v.ensureID()
+	return atomic.LoadUint64(&v.m.id)
+}
+
 // Init sets a Var's value before the Var is shared with other goroutines
 // (e.g. in a constructor). It performs no synchronization or version bump;
 // using it on a Var concurrently accessed by transactions is a data race —
@@ -194,6 +201,7 @@ func (v *Var[T]) StoreDirect(rt *Runtime, x T) {
 			wv := rt.clock.Add(1)
 			v.val.Store(&x)
 			v.m.lock.Store(packVersion(wv))
+			rt.recEvent(Event{Kind: EvDirectWrite, Var: v.m.id, Ver: wv})
 			rt.notifyCommit()
 			return
 		}

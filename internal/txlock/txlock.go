@@ -65,8 +65,11 @@ func (l *Lock) AcquireAs(tx *stm.Tx, me stm.OwnerID) {
 	case 0:
 		l.owner.Set(tx, me)
 		l.depth.Set(tx, 1)
+		l.recordOp(tx, stm.EvLockAcquire, me, 1)
 	case me:
-		l.depth.Set(tx, l.depth.Get(tx)+1)
+		d := l.depth.Get(tx) + 1
+		l.depth.Set(tx, d)
+		l.recordOp(tx, stm.EvLockAcquire, me, uint64(d))
 	default:
 		// Held by another thread: wait (the paper spins/yields and
 		// retries; our runtime blocks until the owner field changes).
@@ -88,9 +91,12 @@ func (l *Lock) TryAcquireAs(tx *stm.Tx, me stm.OwnerID) bool {
 	case 0:
 		l.owner.Set(tx, me)
 		l.depth.Set(tx, 1)
+		l.recordOp(tx, stm.EvLockAcquire, me, 1)
 		return true
 	case me:
-		l.depth.Set(tx, l.depth.Get(tx)+1)
+		d := l.depth.Get(tx) + 1
+		l.depth.Set(tx, d)
+		l.recordOp(tx, stm.EvLockAcquire, me, uint64(d))
 		return true
 	default:
 		return false
@@ -116,10 +122,12 @@ func (l *Lock) ReleaseAs(tx *stm.Tx, me stm.OwnerID) error {
 	d := l.depth.Get(tx)
 	if d > 1 {
 		l.depth.Set(tx, d-1)
+		l.recordOp(tx, stm.EvLockRelease, me, uint64(d-1))
 		return nil
 	}
 	l.depth.Set(tx, 0)
 	l.owner.Set(tx, 0)
+	l.recordOp(tx, stm.EvLockRelease, me, 0)
 	return nil
 }
 
@@ -139,6 +147,21 @@ func (l *Lock) SubscribeAs(tx *stm.Tx, me stm.OwnerID) {
 	if cur != 0 && cur != me {
 		tx.Retry()
 	}
+	l.recordOp(tx, stm.EvLockSubscribe, me, uint64(cur))
+}
+
+// VarID returns the identifier of the lock's owner variable, as used in
+// recorded history events (internal/history, internal/check).
+func (l *Lock) VarID() uint64 { return l.owner.ID() }
+
+// recordOp queues a lock-transition event on tx, emitted only if the
+// attempt commits (an aborted acquire never took effect, so it leaves
+// no trace in the history).
+func (l *Lock) recordOp(tx *stm.Tx, kind stm.EventKind, me stm.OwnerID, aux uint64) {
+	if !tx.Runtime().Recording() {
+		return
+	}
+	tx.RecordOnCommit(stm.Event{Kind: kind, Owner: me, Var: l.owner.ID(), Aux: aux})
 }
 
 // HeldBy reports the current owner (0 if unheld) inside tx.

@@ -1,0 +1,27 @@
+#!/bin/sh
+# CI gate: vet, build, race-enabled tests, and a short adversarial
+# torture run with full history checking. Run from the repo root:
+#
+#   ./scripts/ci.sh
+#
+# or via `make ci`. Fails on the first broken step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> go build"
+go build ./...
+
+echo "==> go test -race"
+go test -race ./...
+
+echo "==> stmtorture -check smoke (2s, fault injection, seed 1)"
+go run ./cmd/stmtorture -duration 2s -threads 8 -check -inject -seed 1
+
+echo "==> stmtorture -check smoke, HTM mode"
+go run ./cmd/stmtorture -duration 2s -threads 8 -mode htm -check -inject -seed 1
+
+echo "CI green"
