@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet torture ci bench
+.PHONY: all build test race race-kv vet torture kvsmoke ci bench
 
 all: build test
 
@@ -13,6 +13,11 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Race gate for the durable store: the WAL group-commit paths and the
+# seeded crash-recovery property tests must be race-clean.
+race-kv:
+	$(GO) test -race -count=1 ./internal/wal ./internal/kv
+
 vet:
 	$(GO) vet ./...
 
@@ -20,7 +25,13 @@ vet:
 torture:
 	$(GO) run ./cmd/stmtorture -duration 2s -threads 8 -check -inject -seed 1
 
-# The full CI gate (vet + build + race tests + torture smoke, both modes).
+# Crash-recovery smoke (fixed seeds) + kvbench acceptance run.
+kvsmoke:
+	$(GO) test -race -count=1 -run 'TestCrashRecovery' ./internal/kv
+	$(GO) run ./cmd/kvbench -threads 4,8 -ops 100 -latency pagecache -modes sync,group >/dev/null
+
+# The full CI gate (vet + build + race tests + torture smoke in both
+# modes + kv crash-recovery smoke + kvbench acceptance).
 ci:
 	./scripts/ci.sh
 

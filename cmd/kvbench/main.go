@@ -1,0 +1,341 @@
+// Command kvbench benchmarks the durable transactional KV store
+// (internal/kv) across its three durability modes, demonstrating WAL
+// group commit via atomic deferral:
+//
+//	none   no WAL — the in-memory upper bound;
+//	sync   fsync per commit inside an irrevocable (serial) transaction —
+//	       the paper's irrevocability baseline;
+//	group  transactional WAL append with the flush deferred through the
+//	       log's atomic deferral — concurrent commits share fsyncs.
+//
+// For each mode × thread count it reports commits/s, total fsyncs,
+// fsyncs per commit, and the group-commit batch-size distribution. After
+// every durable run it recovers the store from the written log and
+// verifies the recovered contents match the live store — a benchmark
+// run that does not recover correctly fails loudly.
+//
+// Example:
+//
+//	kvbench -threads 1,4,8 -ops 400 -latency slowdisk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"deferstm/internal/kv"
+	"deferstm/internal/simio"
+	"deferstm/internal/stm"
+	"deferstm/internal/wal"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type result struct {
+	mode      kv.Mode
+	threads   int
+	commits   uint64
+	elapsed   time.Duration
+	fsyncs    uint64
+	flushes   uint64
+	meanBatch float64
+	maxBatch  uint64
+	hist      string
+	recovered string // "ok" or failure text
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("kvbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threads = fs.String("threads", "1,2,4,8", "comma-separated goroutine counts")
+		ops     = fs.Int("ops", 200, "updates per goroutine per run")
+		keys    = fs.Int("keys", 64, "distinct keys")
+		value   = fs.Int("value", 64, "value bytes")
+		latency = fs.String("latency", "pagecache", "simulated I/O cost: none|pagecache|slowdisk")
+		modes   = fs.String("modes", "none,sync,group", "modes to run")
+		csv     = fs.Bool("csv", false, "emit CSV instead of a text table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var lat simio.Latency
+	switch *latency {
+	case "none":
+	case "pagecache":
+		lat = simio.PageCacheLatency()
+	case "slowdisk":
+		lat = simio.SlowDiskLatency()
+	default:
+		fmt.Fprintf(stderr, "kvbench: unknown latency %q\n", *latency)
+		return 2
+	}
+	threadCounts, err := parseInts(*threads)
+	if err != nil {
+		fmt.Fprintf(stderr, "kvbench: %v\n", err)
+		return 2
+	}
+	var modeList []kv.Mode
+	for _, m := range strings.Split(*modes, ",") {
+		switch strings.TrimSpace(m) {
+		case "none":
+			modeList = append(modeList, kv.ModeNone)
+		case "sync":
+			modeList = append(modeList, kv.ModeSync)
+		case "group":
+			modeList = append(modeList, kv.ModeGroup)
+		case "":
+		default:
+			fmt.Fprintf(stderr, "kvbench: unknown mode %q\n", m)
+			return 2
+		}
+	}
+
+	var results []result
+	for _, mode := range modeList {
+		for _, t := range threadCounts {
+			r, err := benchOne(mode, t, *ops, *keys, *value, lat)
+			if err != nil {
+				fmt.Fprintf(stderr, "kvbench: %v@%d: %v\n", mode, t, err)
+				return 1
+			}
+			results = append(results, r)
+			fmt.Fprintf(stderr, ".")
+		}
+	}
+	fmt.Fprintln(stderr)
+
+	if *csv {
+		fmt.Fprintln(stdout, "mode,threads,commits,seconds,commits_per_s,fsyncs,fsyncs_per_commit,mean_batch,max_batch,recovery")
+		for _, r := range results {
+			fmt.Fprintf(stdout, "%s,%d,%d,%.3f,%.0f,%d,%.3f,%.1f,%d,%s\n",
+				r.mode, r.threads, r.commits, r.elapsed.Seconds(),
+				float64(r.commits)/r.elapsed.Seconds(),
+				r.fsyncs, float64(r.fsyncs)/float64(r.commits),
+				r.meanBatch, r.maxBatch, r.recovered)
+		}
+	} else {
+		fmt.Fprintf(stdout, "kvbench: %d updates/goroutine, %d keys, %d-byte values, latency=%s\n\n",
+			*ops, *keys, *value, *latency)
+		fmt.Fprintf(stdout, "%-6s %8s %9s %12s %8s %14s %10s %8s  %s\n",
+			"mode", "threads", "commits", "commits/s", "fsyncs", "fsyncs/commit", "mean-batch", "recovery", "batch-hist")
+		for _, r := range results {
+			fmt.Fprintf(stdout, "%-6s %8d %9d %12.0f %8d %14.3f %10.1f %8s  %s\n",
+				r.mode, r.threads, r.commits,
+				float64(r.commits)/r.elapsed.Seconds(),
+				r.fsyncs, float64(r.fsyncs)/float64(r.commits),
+				r.meanBatch, r.recovered, r.hist)
+		}
+	}
+
+	// The point of the exercise: at every thread count where both ran,
+	// group commit must need fewer fsyncs per commit than the
+	// irrevocable baseline once there is concurrency to batch.
+	bad := false
+	perMode := map[kv.Mode]map[int]result{}
+	for _, r := range results {
+		if perMode[r.mode] == nil {
+			perMode[r.mode] = map[int]result{}
+		}
+		perMode[r.mode][r.threads] = r
+	}
+	for t, g := range perMode[kv.ModeGroup] {
+		s, ok := perMode[kv.ModeSync][t]
+		if !ok || t < 4 {
+			continue
+		}
+		gRate := float64(g.fsyncs) / float64(g.commits)
+		sRate := float64(s.fsyncs) / float64(s.commits)
+		if gRate >= sRate {
+			fmt.Fprintf(stderr, "kvbench: group commit did not beat sync at %d threads (%.3f vs %.3f fsyncs/commit)\n",
+				t, gRate, sRate)
+			bad = true
+		}
+	}
+	for _, r := range results {
+		if r.recovered != "ok" {
+			fmt.Fprintf(stderr, "kvbench: %v@%d recovery: %s\n", r.mode, r.threads, r.recovered)
+			bad = true
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+func benchOne(mode kv.Mode, threads, ops, keys, valueBytes int, lat simio.Latency) (result, error) {
+	fs := simio.NewFS(lat)
+	var backend wal.Backend
+	if mode != kv.ModeNone {
+		backend = wal.NewSimBackend(fs)
+	}
+	rt := stm.NewDefault()
+	before := rt.Snapshot()
+	s, _, err := kv.Open(rt, backend, kv.Options{Mode: mode})
+	if err != nil {
+		return result{}, err
+	}
+
+	value := strings.Repeat("v", valueBytes)
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for g := 0; g < threads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := uint64(g)*0x9E3779B97F4A7C15 + 1
+			for i := 0; i < ops; i++ {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := fmt.Sprintf("k%04d", rng%uint64(keys))
+				lsn, err := s.Update(func(tx *stm.Tx, b *kv.Batch) error {
+					b.Put(k, value)
+					return nil
+				})
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				s.WaitDurable(lsn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return result{}, err
+		}
+	}
+
+	r := result{
+		mode:      mode,
+		threads:   threads,
+		commits:   uint64(threads * ops),
+		elapsed:   elapsed,
+		fsyncs:    fs.Stats().Fsyncs,
+		recovered: "ok",
+	}
+	delta := rt.Snapshot().Delta(before)
+	if log := s.Log(); log != nil {
+		st := log.BatchStats()
+		r.flushes = st.Flushes
+		r.meanBatch = st.Mean()
+		r.maxBatch = st.MaxBatch
+		r.hist = histString(st)
+		if delta.WALRecords != r.commits {
+			return result{}, fmt.Errorf("stats mismatch: %d WAL records for %d commits", delta.WALRecords, r.commits)
+		}
+	}
+
+	// Snapshot the live contents, close, recover from the written log,
+	// and verify byte-for-byte equality.
+	live := map[string]string{}
+	if err := s.View(func(tx *stm.Tx) error {
+		clear(live)
+		s.Range(tx, func(k, v string) bool {
+			live[k] = v
+			return true
+		})
+		return nil
+	}); err != nil {
+		return result{}, err
+	}
+	if err := s.Close(); err != nil {
+		return result{}, err
+	}
+	if mode != kv.ModeNone {
+		if msg := verifyRecovery(fs, mode, live, r.commits); msg != "" {
+			r.recovered = msg
+		}
+	}
+	return r, nil
+}
+
+// verifyRecovery reopens the store from the log the benchmark wrote and
+// compares it to the live contents at close. Returns "" on success.
+func verifyRecovery(fs *simio.FS, mode kv.Mode, live map[string]string, commits uint64) string {
+	s2, info, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{Mode: mode})
+	if err != nil {
+		return fmt.Sprintf("open: %v", err)
+	}
+	defer s2.Close()
+	if info.LastLSN != commits {
+		return fmt.Sprintf("recovered LSN %d, want %d", info.LastLSN, commits)
+	}
+	got := map[string]string{}
+	if err := s2.View(func(tx *stm.Tx) error {
+		clear(got)
+		s2.Range(tx, func(k, v string) bool {
+			got[k] = v
+			return true
+		})
+		return nil
+	}); err != nil {
+		return err.Error()
+	}
+	if len(got) != len(live) {
+		return fmt.Sprintf("recovered %d keys, want %d", len(got), len(live))
+	}
+	for k, v := range live {
+		if got[k] != v {
+			return fmt.Sprintf("key %q diverged after recovery", k)
+		}
+	}
+	return ""
+}
+
+// histString renders the batch-size histogram compactly: one bucket per
+// power of two, e.g. "1:12 2-3:40 4-7:9".
+func histString(st wal.BatchStats) string {
+	var parts []string
+	for i, n := range st.Hist {
+		if n == 0 {
+			continue
+		}
+		lo := uint64(1) << (i - 1)
+		hi := uint64(1)<<i - 1
+		if i == 0 {
+			lo, hi = 0, 0
+		}
+		if lo == hi {
+			parts = append(parts, fmt.Sprintf("%d:%d", lo, n))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d-%d:%d", lo, hi, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts")
+	}
+	return out, nil
+}

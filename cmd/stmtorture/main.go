@@ -11,12 +11,16 @@
 //     observe a != b;
 //   - locks: opposite-order multi-lock acquisition through transactions
 //     (deadlock-freedom check);
+//   - kvstore: concurrent counters in the durable KV store (WAL group
+//     commit, checkpoints, durability waits); the live view must match
+//     per-thread tallies and a post-close recovery must reproduce it;
 //   - selfcheck: deliberately reports one failure, so the harness's
 //     nonzero-exit path can itself be tested (not part of "all").
 //
 // With -check, every event of the run is recorded (internal/history)
 // and verified offline by internal/check against serializability,
-// opacity, deferral atomicity and two-phase locking. With -inject,
+// opacity, deferral atomicity, two-phase locking and the WAL
+// durability axioms. With -inject,
 // seeded fault injection (-seed) drives the runtime onto adversarial
 // schedules: forced conflict and capacity aborts, delayed write-back,
 // and stalls inside quiescence and the commit→λ window.
@@ -32,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,8 +45,11 @@ import (
 	"deferstm/internal/core"
 	"deferstm/internal/ds"
 	"deferstm/internal/history"
+	"deferstm/internal/kv"
+	"deferstm/internal/simio"
 	"deferstm/internal/stm"
 	"deferstm/internal/txlock"
+	"deferstm/internal/wal"
 )
 
 // torture carries the per-run harness state: failure accounting, the
@@ -73,7 +81,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		duration  = fs.Duration("duration", 5*time.Second, "run time per workload")
 		threads   = fs.Int("threads", 8, "concurrent worker goroutines")
-		workload  = fs.String("workload", "all", "bank|tree|defer|locks|selfcheck|all")
+		workload  = fs.String("workload", "all", "bank|tree|defer|locks|kvstore|selfcheck|all")
 		mode      = fs.String("mode", "stm", "stm|htm")
 		seed      = fs.Uint64("seed", 1, "base seed for worker RNGs and fault injection")
 		checkHist = fs.Bool("check", false, "record the full event history and verify serializability, opacity, deferral atomicity and 2PL")
@@ -114,9 +122,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"tree":      tortureTree,
 		"defer":     tortureDefer,
 		"locks":     tortureLocks,
+		"kvstore":   tortureKVStore,
 		"selfcheck": tortureSelfcheck,
 	}
-	order := []string{"bank", "tree", "defer", "locks"} // selfcheck is opt-in
+	order := []string{"bank", "tree", "defer", "locks", "kvstore"} // selfcheck is opt-in
 
 	var total int64
 	ran := 0
@@ -156,9 +165,10 @@ func runWorkload(name string, fn func(*torture, *stm.Runtime, int, time.Duration
 	}
 	h := &torture{stderr: stderr, seed: seed, maxOps: maxOps}
 	rt := stm.New(cfg)
+	before := rt.Snapshot()
 	start := time.Now()
 	fn(h, rt, threads, d)
-	snap := rt.Snapshot()
+	snap := rt.Snapshot().Delta(before)
 	fmt.Fprintf(stdout, "%-9s %7.2fs  %s\n", name, time.Since(start).Seconds(), snap.String())
 	if checkHist {
 		rep := check.History(log.Events())
@@ -366,6 +376,101 @@ func tortureLocks(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
 		if shared[i] != expected[i] {
 			h.failf("locks: slot %d = %d, want %d (mutual exclusion violated)", i, shared[i], expected[i])
 		}
+	}
+}
+
+// tortureKVStore hammers the durable KV store (WAL group commit via
+// atomic deferral) with per-thread counters on a simulated disk, taking
+// occasional checkpoints, then closes the store and recovers it on a
+// fresh runtime: the recovered contents must equal the live contents at
+// close. Each thread increments only its own keys, so every counter's
+// final value must equal the thread's local count — a lost or duplicated
+// WAL replay shows up as a counter mismatch. Under -check the recorded
+// history additionally passes through the durability axioms
+// (internal/check's EvWALAppend/EvWALDurable rules).
+func tortureKVStore(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
+	const slots = 8
+	fs := simio.NewFS(simio.Latency{})
+	s, _, err := kv.Open(rt, wal.NewSimBackend(fs), kv.Options{WAL: wal.Options{SegmentBytes: 1 << 16}})
+	if err != nil {
+		h.failf("kvstore: open: %v", err)
+		return
+	}
+	counts := make([][slots]int, threads)
+	var ckptMu sync.Mutex
+	h.runFor(threads, d, func(tid int, rng func(int) int64) {
+		slot := rng(slots)
+		key := fmt.Sprintf("t%d-c%d", tid, slot)
+		lsn, err := s.Update(func(tx *stm.Tx, b *kv.Batch) error {
+			cur, _ := b.Get(key)
+			n, _ := strconv.Atoi(cur)
+			b.Put(key, strconv.Itoa(n+1))
+			return nil
+		})
+		if err != nil {
+			h.failf("kvstore: update: %v", err)
+			return
+		}
+		counts[tid][slot]++
+		if rng(64) == 0 {
+			s.WaitDurable(lsn)
+		}
+		if rng(400) == 0 && ckptMu.TryLock() {
+			if _, err := s.Checkpoint(); err != nil {
+				h.failf("kvstore: checkpoint: %v", err)
+			}
+			ckptMu.Unlock()
+		}
+	})
+
+	live := map[string]string{}
+	if err := s.View(func(tx *stm.Tx) error {
+		clear(live)
+		s.Range(tx, func(k, v string) bool { live[k] = v; return true })
+		return nil
+	}); err != nil {
+		h.failf("kvstore: view: %v", err)
+	}
+	for tid := range counts {
+		for slot, want := range counts[tid] {
+			if want == 0 {
+				continue
+			}
+			key := fmt.Sprintf("t%d-c%d", tid, slot)
+			if got, _ := strconv.Atoi(live[key]); got != want {
+				h.failf("kvstore: %s = %d, want %d (lost or duplicated update)", key, got, want)
+			}
+		}
+	}
+	if err := s.Close(); err != nil {
+		h.failf("kvstore: close: %v", err)
+		return
+	}
+
+	// Recover on a fresh runtime from the simulated disk and compare.
+	s2, _, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{})
+	if err != nil {
+		h.failf("kvstore: recovery: %v", err)
+		return
+	}
+	recovered := map[string]string{}
+	if err := s2.View(func(tx *stm.Tx) error {
+		clear(recovered)
+		s2.Range(tx, func(k, v string) bool { recovered[k] = v; return true })
+		return nil
+	}); err != nil {
+		h.failf("kvstore: recovered view: %v", err)
+	}
+	if len(recovered) != len(live) {
+		h.failf("kvstore: recovered %d keys, want %d", len(recovered), len(live))
+	}
+	for k, v := range live {
+		if recovered[k] != v {
+			h.failf("kvstore: recovered %s = %q, want %q", k, recovered[k], v)
+		}
+	}
+	if err := s2.Close(); err != nil {
+		h.failf("kvstore: recovered close: %v", err)
 	}
 }
 

@@ -41,6 +41,7 @@ const (
 	RuleOpacity         = "opacity"
 	RuleDeferral        = "deferral-atomicity"
 	RuleTwoPhase        = "two-phase-locking"
+	// RuleDurability is declared in durability.go.
 )
 
 // Violation is one property failure found in a history.
@@ -63,6 +64,8 @@ type Report struct {
 	Reads      int
 	Writes     int
 	DeferOps   int
+	WALAppends int
+	WALAcks    int
 }
 
 // OK reports whether no property was violated.
@@ -70,8 +73,12 @@ func (r *Report) OK() bool { return len(r.Violations) == 0 }
 
 func (r *Report) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "checked %d commits, %d aborts, %d reads, %d writes, %d deferred ops: ",
+	fmt.Fprintf(&b, "checked %d commits, %d aborts, %d reads, %d writes, %d deferred ops",
 		r.Commits, r.Aborts, r.Reads, r.Writes, r.DeferOps)
+	if r.WALAppends > 0 || r.WALAcks > 0 {
+		fmt.Fprintf(&b, ", %d WAL appends, %d durability acks", r.WALAppends, r.WALAcks)
+	}
+	b.WriteString(": ")
 	if r.OK() {
 		b.WriteString("all properties hold")
 		return b.String()
@@ -88,7 +95,8 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// History checks all four properties over the given events. Events are
+// History checks all five properties (the four above plus the WAL
+// durability axioms of durability.go) over the given events. Events are
 // interpreted in slice order; Seq fields are renumbered from 1 so
 // hand-written histories need not fill them in.
 func History(events []stm.Event) *Report {
@@ -100,10 +108,17 @@ func History(events []stm.Event) *Report {
 		Writes:   p.writeCount,
 		DeferOps: len(p.unitOrder),
 	}
+	for _, apps := range p.walAppends {
+		r.WALAppends += len(apps)
+	}
+	for _, acks := range p.walDurables {
+		r.WALAcks += len(acks)
+	}
 	r.Violations = append(r.Violations, checkSerializability(p)...)
 	r.Violations = append(r.Violations, checkOpacity(p)...)
 	r.Violations = append(r.Violations, checkDeferral(p)...)
 	r.Violations = append(r.Violations, checkTwoPhase(p)...)
+	r.Violations = append(r.Violations, checkDurability(p)...)
 	return r
 }
 
@@ -140,13 +155,16 @@ type varVer struct{ varID, ver uint64 }
 
 type parsed struct {
 	txs       map[uint64]*txInfo
-	order     []*txInfo // first-seen order
+	order     []*txInfo           // first-seen order
 	writes    map[uint64][]uint64 // varID -> ascending commit versions
 	verOwner  map[uint64]uint64   // commit version -> txID (^0 = direct write)
 	dupVer    []Violation         // duplicate-commit-version findings
 	units     map[uint64]*deferUnit
 	unitOrder []*deferUnit
 	lockEvs   []stm.Event // acquire/release events, in sequence order
+
+	walAppends  map[uint64][]walAppend // log lock var -> committed appends
+	walDurables map[uint64][]walDurable
 
 	commits, aborts, reads, writeCount int
 }
@@ -155,10 +173,12 @@ const directWriter = ^uint64(0)
 
 func parse(events []stm.Event) *parsed {
 	p := &parsed{
-		txs:      make(map[uint64]*txInfo),
-		writes:   make(map[uint64][]uint64),
-		verOwner: make(map[uint64]uint64),
-		units:    make(map[uint64]*deferUnit),
+		txs:         make(map[uint64]*txInfo),
+		writes:      make(map[uint64][]uint64),
+		verOwner:    make(map[uint64]uint64),
+		units:       make(map[uint64]*deferUnit),
+		walAppends:  make(map[uint64][]walAppend),
+		walDurables: make(map[uint64][]walDurable),
 	}
 	tx := func(id uint64, owner stm.OwnerID) *txInfo {
 		t, ok := p.txs[id]
@@ -238,6 +258,14 @@ func parse(events []stm.Event) *parsed {
 			unit(ev.Aux).startSeq = seq
 		case stm.EvDeferEnd:
 			unit(ev.Aux).endSeq = seq
+		case stm.EvWALAppend:
+			// Flushed only on commit, so every append seen here took
+			// effect; Ver is the appending transaction's commit version.
+			p.walAppends[ev.Var] = append(p.walAppends[ev.Var],
+				walAppend{lsn: ev.Aux, ver: ev.Ver, seq: seq, txID: ev.TxID, owner: ev.Owner})
+		case stm.EvWALDurable:
+			p.walDurables[ev.Var] = append(p.walDurables[ev.Var],
+				walDurable{watermark: ev.Aux, seq: seq})
 		}
 	}
 	for _, vs := range p.writes {
@@ -369,6 +397,17 @@ func checkDeferral(p *parsed) []Violation {
 	if len(acq) == 0 {
 		return out
 	}
+	// Group-commit join exemption: a transaction that appended to a WAL
+	// may read that log's lock owner while it is held — that is the
+	// leader-election handshake, not an observation of λ-protected state.
+	// Its coordination with the in-flight flush is checked by the
+	// durability axioms instead (LSN order, watermark monotonicity).
+	appenders := make(map[varVer]bool)
+	for logVar, apps := range p.walAppends {
+		for _, a := range apps {
+			appenders[varVer{logVar, a.txID}] = true
+		}
+	}
 	for _, t := range p.order {
 		if !t.committed {
 			continue // aborted observers retried correctly
@@ -376,6 +415,9 @@ func checkDeferral(p *parsed) []Violation {
 		for _, r := range t.reads {
 			u, ok := acq[varVer{r.varID, r.ver}]
 			if !ok || t.id == u.txID || t.owner == u.owner {
+				continue
+			}
+			if appenders[varVer{r.varID, t.id}] {
 				continue
 			}
 			out = append(out, Violation{

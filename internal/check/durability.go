@@ -1,0 +1,172 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"deferstm/internal/stm"
+)
+
+// Durability checking over the WAL events (EvWALAppend / EvWALDurable)
+// that package wal records. Two layers:
+//
+//   - History (via checkDurability) verifies the live-execution axioms:
+//     LSNs are unique and their order agrees with the serialization
+//     order (commit-version order) of the appending transactions; the
+//     durable watermark only ever covers appended records, never
+//     retreats, and is never published before the record it covers was
+//     committed.
+//
+//   - RecoveredPrefix relates a recovered state to the history it was
+//     recovered from: everything acknowledged durable before the crash
+//     must be present after replay, and the recovered state must be a
+//     prefix of the serialization order — no gap, and nothing beyond
+//     what was ever appended.
+
+// RuleDurability names durability violations in reports.
+const RuleDurability = "durability"
+
+type walAppend struct {
+	lsn   uint64
+	ver   uint64 // commit version of the appending transaction
+	seq   uint64
+	txID  uint64
+	owner stm.OwnerID
+}
+
+type walDurable struct {
+	watermark uint64
+	seq       uint64
+}
+
+// checkDurability verifies the live-history WAL axioms, per log (events
+// are grouped by the log's lock variable, so histories with several logs
+// check independently).
+func checkDurability(p *parsed) []Violation {
+	var out []Violation
+	for logVar, apps := range p.walAppends {
+		byLSN := make(map[uint64]*walAppend, len(apps))
+		for i := range apps {
+			a := &apps[i]
+			if prev, dup := byLSN[a.lsn]; dup {
+				out = append(out, Violation{
+					Rule: RuleDurability, TxID: a.txID, Seq: a.seq,
+					Msg: fmt.Sprintf("LSN %d of log %d appended by two committed transactions (tx %d and tx %d)",
+						a.lsn, logVar, prev.txID, a.txID),
+				})
+				continue
+			}
+			byLSN[a.lsn] = a
+		}
+		// LSN order must be serialization order: ascending LSN ⇒ strictly
+		// ascending commit version.
+		sorted := make([]*walAppend, 0, len(byLSN))
+		for _, a := range byLSN {
+			sorted = append(sorted, a)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].lsn < sorted[j].lsn })
+		for i := 1; i < len(sorted); i++ {
+			lo, hi := sorted[i-1], sorted[i]
+			if hi.ver <= lo.ver {
+				out = append(out, Violation{
+					Rule: RuleDurability, TxID: hi.txID, Seq: hi.seq,
+					Msg: fmt.Sprintf("LSN order disagrees with serialization order on log %d: LSN %d committed at version %d but LSN %d at version %d",
+						logVar, lo.lsn, lo.ver, hi.lsn, hi.ver),
+				})
+			}
+		}
+		var maxLSN uint64
+		for lsn := range byLSN {
+			if lsn > maxLSN {
+				maxLSN = lsn
+			}
+		}
+		prevWM := uint64(0)
+		for _, d := range p.walDurables[logVar] {
+			if d.watermark < prevWM {
+				out = append(out, Violation{
+					Rule: RuleDurability, Seq: d.seq,
+					Msg: fmt.Sprintf("durable watermark of log %d retreated from %d to %d", logVar, prevWM, d.watermark),
+				})
+			}
+			prevWM = d.watermark
+			if d.watermark > maxLSN {
+				out = append(out, Violation{
+					Rule: RuleDurability, Seq: d.seq,
+					Msg: fmt.Sprintf("log %d acknowledged LSN %d durable but only %d records were ever appended by committed transactions",
+						logVar, d.watermark, maxLSN),
+				})
+				continue
+			}
+			if a, ok := byLSN[d.watermark]; !ok {
+				out = append(out, Violation{
+					Rule: RuleDurability, Seq: d.seq,
+					Msg: fmt.Sprintf("log %d acknowledged watermark %d, which no committed transaction appended", logVar, d.watermark),
+				})
+			} else if d.seq < a.seq {
+				out = append(out, Violation{
+					Rule: RuleDurability, TxID: a.txID, Seq: d.seq,
+					Msg: fmt.Sprintf("log %d acknowledged LSN %d durable before the appending transaction's commit flushed it", logVar, d.watermark),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RecoveredPrefix checks a recovered state against the pre-crash history
+// it was recovered from: recoveredLastLSN is what recovery reports as the
+// highest LSN its state covers (wal.Recovery.LastLSN / kv's
+// RecoveryInfo.LastLSN). The axiom has two halves:
+//
+//   - completeness: every record acknowledged durable in the history
+//     (any EvWALDurable watermark) is present after replay;
+//   - prefix-ness: the recovered state is a prefix of the serialization
+//     order — it does not extend past the appended history, and every
+//     LSN up to recoveredLastLSN was appended (no holes).
+//
+// The history must contain a single log's WAL events (the usual case:
+// one store per runtime); baseLSN is the LSN the log started at in this
+// history (0 for a log created fresh).
+func RecoveredPrefix(events []stm.Event, baseLSN, recoveredLastLSN uint64) []Violation {
+	var out []Violation
+	acked := uint64(0)
+	appended := make(map[uint64]bool)
+	maxLSN := baseLSN
+	for _, ev := range events {
+		switch ev.Kind {
+		case stm.EvWALAppend:
+			appended[ev.Aux] = true
+			if ev.Aux > maxLSN {
+				maxLSN = ev.Aux
+			}
+		case stm.EvWALDurable:
+			if ev.Aux > acked {
+				acked = ev.Aux
+			}
+		}
+	}
+	if recoveredLastLSN < acked {
+		out = append(out, Violation{
+			Rule: RuleDurability,
+			Msg: fmt.Sprintf("recovery lost acknowledged records: recovered through LSN %d but LSN %d was acked durable",
+				recoveredLastLSN, acked),
+		})
+	}
+	if recoveredLastLSN > maxLSN {
+		out = append(out, Violation{
+			Rule: RuleDurability,
+			Msg: fmt.Sprintf("recovered state (through LSN %d) extends past the appended history (through LSN %d) — not a prefix",
+				recoveredLastLSN, maxLSN),
+		})
+	}
+	for lsn := baseLSN + 1; lsn <= recoveredLastLSN; lsn++ {
+		if !appended[lsn] {
+			out = append(out, Violation{
+				Rule: RuleDurability,
+				Msg:  fmt.Sprintf("recovered state covers LSN %d, which no committed transaction appended — not a prefix of the serialization order", lsn),
+			})
+		}
+	}
+	return out
+}

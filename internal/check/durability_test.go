@@ -1,0 +1,152 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"deferstm/internal/history"
+	"deferstm/internal/kv"
+	"deferstm/internal/simio"
+	"deferstm/internal/stm"
+	"deferstm/internal/wal"
+)
+
+const logVar = 99
+
+func app(tx, lsn, ver uint64) stm.Event {
+	return stm.Event{Kind: stm.EvWALAppend, TxID: tx, Owner: stm.OwnerID(tx), Var: logVar, Aux: lsn, Ver: ver}
+}
+
+func ack(watermark uint64) stm.Event {
+	return stm.Event{Kind: stm.EvWALDurable, Var: logVar, Aux: watermark}
+}
+
+func wantViolation(t *testing.T, vs []Violation, substr string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Rule == RuleDurability && strings.Contains(v.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no durability violation containing %q in %v", substr, vs)
+}
+
+func TestDurabilityCleanHistory(t *testing.T) {
+	r := History([]stm.Event{
+		app(1, 1, 10),
+		app(2, 2, 20),
+		ack(1),
+		app(3, 3, 30),
+		ack(3),
+	})
+	if !r.OK() {
+		t.Fatalf("clean history flagged: %v", r.Violations)
+	}
+	if r.WALAppends != 3 || r.WALAcks != 2 {
+		t.Fatalf("counted %d appends, %d acks", r.WALAppends, r.WALAcks)
+	}
+}
+
+func TestDurabilityDuplicateLSN(t *testing.T) {
+	r := History([]stm.Event{app(1, 1, 10), app(2, 1, 20)})
+	wantViolation(t, r.Violations, "appended by two committed transactions")
+}
+
+func TestDurabilityLSNOrderVsSerialization(t *testing.T) {
+	// LSN 2 committed at an OLDER version than LSN 1: the log order
+	// contradicts the serialization order.
+	r := History([]stm.Event{app(1, 1, 20), app(2, 2, 10)})
+	wantViolation(t, r.Violations, "disagrees with serialization order")
+}
+
+func TestDurabilityWatermarkRetreat(t *testing.T) {
+	r := History([]stm.Event{app(1, 1, 10), app(2, 2, 20), ack(2), ack(1)})
+	wantViolation(t, r.Violations, "retreated")
+}
+
+func TestDurabilityAckBeyondAppended(t *testing.T) {
+	r := History([]stm.Event{app(1, 1, 10), ack(2)})
+	wantViolation(t, r.Violations, "ever appended")
+}
+
+func TestDurabilityAckBeforeAppendFlushed(t *testing.T) {
+	r := History([]stm.Event{app(1, 1, 10), ack(2), app(2, 2, 20)})
+	wantViolation(t, r.Violations, "before the appending transaction")
+}
+
+func TestRecoveredPrefix(t *testing.T) {
+	hist := []stm.Event{app(1, 1, 10), app(2, 2, 20), app(3, 3, 30), ack(2)}
+	if vs := RecoveredPrefix(hist, 0, 2); len(vs) != 0 {
+		t.Fatalf("recovering exactly the acked prefix flagged: %v", vs)
+	}
+	if vs := RecoveredPrefix(hist, 0, 3); len(vs) != 0 {
+		t.Fatalf("recovering beyond the ack but within appends flagged: %v", vs)
+	}
+	vs := RecoveredPrefix(hist, 0, 1)
+	wantViolation(t, vs, "lost acknowledged records")
+	vs = RecoveredPrefix(hist, 0, 4)
+	wantViolation(t, vs, "not a prefix")
+	// A hole: LSN 2 missing from the appended history.
+	vs = RecoveredPrefix([]stm.Event{app(1, 1, 10), app(3, 3, 30)}, 0, 3)
+	wantViolation(t, vs, "no committed transaction appended")
+}
+
+// TestKVHistoryDurability drives a real concurrent kv workload with the
+// recorder attached and feeds the history through the full checker,
+// including the durability axioms; then recovers the store and checks
+// the recovered state is an acked-covering prefix.
+func TestKVHistoryDurability(t *testing.T) {
+	rec := history.New()
+	rt := stm.New(stm.Config{Recorder: rec})
+	fs := simio.NewFS(simio.Latency{})
+	s, _, err := kv.Open(rt, wal.NewSimBackend(fs), kv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 4
+	const perG = 15
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lsn, err := s.Update(func(tx *stm.Tx, b *kv.Batch) error {
+					b.Put(fmt.Sprintf("g%d-%d", g, i%3), fmt.Sprintf("v%d", i))
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.WaitDurable(lsn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := rec.Events()
+	r := History(events)
+	if !r.OK() {
+		t.Fatalf("live history violates properties:\n%s", r)
+	}
+	if r.WALAppends != goroutines*perG {
+		t.Fatalf("history has %d WAL appends, want %d", r.WALAppends, goroutines*perG)
+	}
+	if r.WALAcks == 0 {
+		t.Fatal("history has no durability acks")
+	}
+
+	_, info, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := RecoveredPrefix(events, 0, info.LastLSN); len(vs) != 0 {
+		t.Fatalf("recovered state violates the durability axiom: %v", vs)
+	}
+}

@@ -82,6 +82,17 @@ type OpCtx struct {
 	owner stm.OwnerID
 }
 
+// NewOpCtx builds an operation context for code that holds deferrable
+// locks without having been deferred — the "mix and match" pattern of the
+// paper's Section 4.2: a plain goroutine that acquired an object's lock
+// via (*txlock.Lock).AcquireOutside gets the same Load/Store/Atomic
+// helpers a deferred operation has. owner must be the identity the locks
+// are held under. Package wal uses this for group-commit flushes that
+// take the log lock post-commit rather than at commit.
+func NewOpCtx(rt *stm.Runtime, owner stm.OwnerID) *OpCtx {
+	return &OpCtx{rt: rt, owner: owner}
+}
+
 // Runtime returns the runtime the deferring transaction ran on.
 func (c *OpCtx) Runtime() *stm.Runtime { return c.rt }
 

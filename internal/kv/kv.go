@@ -1,0 +1,286 @@
+// Package kv is a durable transactional key/value store layered on the
+// STM runtime and the group-committing WAL (package wal) — the paper's
+// atomic-deferral story applied end to end: a store transaction mutates
+// transactional state and appends one WAL record describing its
+// mutations, all inside the same transaction; durability (the fsync) is
+// the deferred operation, so commits never block on I/O and concurrent
+// commits share flushes.
+//
+// Three durability modes bracket the design space:
+//
+//   - ModeGroup (default): the WAL append is transactional and the flush
+//     is deferred via the log's atomic deferral — group commit.
+//   - ModeSync: every update runs as a serial (irrevocable) transaction
+//     and fsyncs before returning — the classic irrevocability baseline,
+//     exactly one fsync per commit.
+//   - ModeNone: no WAL at all; an in-memory upper bound.
+//
+// Recovery (Open) replays the newest checkpoint plus all intact WAL
+// records after it, in LSN order. Because LSNs are assigned inside the
+// mutating transactions, LSN order IS the serialization order, and a
+// recovered store is always a prefix-consistent image of the committed
+// history.
+package kv
+
+import (
+	"errors"
+	"fmt"
+
+	"deferstm/internal/stm"
+	"deferstm/internal/wal"
+)
+
+// Mode selects the durability discipline.
+type Mode int
+
+const (
+	// ModeGroup appends transactionally and defers the fsync through the
+	// log's atomic deferral (group commit). The default.
+	ModeGroup Mode = iota
+	// ModeSync makes each update a serial transaction with its own fsync.
+	ModeSync
+	// ModeNone disables the WAL entirely.
+	ModeNone
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeGroup:
+		return "group"
+	case ModeSync:
+		return "sync"
+	case ModeNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	Mode    Mode
+	Buckets int // hash buckets (0 → 1024)
+	WAL     wal.Options
+}
+
+// RecoveryInfo summarizes what Open replayed.
+type RecoveryInfo struct {
+	CheckpointLSN uint64 // 0 when no checkpoint existed
+	Replayed      int    // WAL records applied after the checkpoint
+	LastLSN       uint64 // highest LSN the recovered state covers
+	TornBytes     int    // bytes truncated from a torn tail
+	Keys          int    // keys present after recovery
+}
+
+// Store is a durable transactional key/value store. All methods are safe
+// for concurrent use.
+type Store struct {
+	rt   *stm.Runtime
+	mode Mode
+	log  *wal.Log // nil in ModeNone
+	m    *smap
+}
+
+// Open recovers (or creates) a store on backend b. b may be nil only in
+// ModeNone.
+func Open(rt *stm.Runtime, b wal.Backend, opts Options) (*Store, *RecoveryInfo, error) {
+	if opts.Buckets <= 0 {
+		opts.Buckets = 1024
+	}
+	s := &Store{rt: rt, mode: opts.Mode, m: newSmap(opts.Buckets)}
+	info := &RecoveryInfo{}
+	if opts.Mode == ModeNone {
+		return s, info, nil
+	}
+	if b == nil {
+		return nil, nil, errors.New("kv: durable mode needs a backend")
+	}
+	log, rec, err := wal.Open(rt, b, opts.WAL)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.log = log
+	info.CheckpointLSN = rec.CheckpointLSN
+	info.LastLSN = rec.LastLSN
+	info.TornBytes = rec.TornBytes
+
+	// Replay: checkpoint image first, then each record's ops, one
+	// transaction per record so replay transactions stay small. The store
+	// is not shared yet, so these commit without contention.
+	if rec.Checkpoint != nil {
+		kvs, err := decodeSnapshot(rec.Checkpoint)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kv: checkpoint: %w", err)
+		}
+		if err := rt.Atomic(func(tx *stm.Tx) error {
+			for k, v := range kvs {
+				s.m.put(tx, k, v)
+			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, r := range rec.Records {
+		ops, err := decodeOps(r.Payload)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kv: record %d: %w", r.LSN, err)
+		}
+		if err := rt.Atomic(func(tx *stm.Tx) error {
+			applyOps(tx, s.m, ops)
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+		info.Replayed++
+	}
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		info.Keys = s.m.length(tx)
+		return nil
+	})
+	return s, info, nil
+}
+
+func applyOps(tx *stm.Tx, m *smap, ops []Op) {
+	for _, op := range ops {
+		if op.Put {
+			m.put(tx, op.Key, op.Value)
+		} else {
+			m.delete(tx, op.Key)
+		}
+	}
+}
+
+// Batch accumulates one transaction's mutations: each Put/Delete applies
+// to the store immediately (inside the transaction, so the transaction
+// reads its own writes) and is recorded for the commit's WAL record.
+type Batch struct {
+	s   *Store
+	tx  *stm.Tx
+	ops []Op
+}
+
+// Get reads key inside the batch's transaction.
+func (b *Batch) Get(key string) (string, bool) { return b.s.m.get(b.tx, key) }
+
+// Put sets key to value.
+func (b *Batch) Put(key, value string) {
+	b.s.m.put(b.tx, key, value)
+	b.ops = append(b.ops, Op{Put: true, Key: key, Value: value})
+}
+
+// Delete removes key (a no-op delete is still logged; replay is
+// idempotent about it).
+func (b *Batch) Delete(key string) {
+	b.s.m.delete(b.tx, key)
+	b.ops = append(b.ops, Op{Key: key})
+}
+
+// Len reports the number of mutations so far.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Update runs fn as one atomic, durable mutation of the store and returns
+// the LSN of its WAL record (0 for a read-only fn or in ModeNone). In
+// ModeGroup the returned LSN is not yet durable — it becomes durable when
+// the deferred group-commit flush covers it; call WaitDurable(lsn) for a
+// synchronous guarantee. In ModeSync the record is durable on return.
+//
+// fn may re-execute (optimistic retry); it must be idempotent apart from
+// its Batch mutations, which reset on retry.
+func (s *Store) Update(fn func(tx *stm.Tx, b *Batch) error) (uint64, error) {
+	var lsn uint64
+	run := func(tx *stm.Tx) error {
+		lsn = 0
+		b := &Batch{s: s, tx: tx}
+		if err := fn(tx, b); err != nil {
+			return err
+		}
+		if s.log == nil || len(b.ops) == 0 {
+			return nil
+		}
+		payload := encodeOps(b.ops)
+		if s.mode == ModeSync {
+			var err error
+			lsn, err = s.log.AppendSync(tx, payload)
+			return err
+		}
+		lsn = s.log.Append(tx, payload)
+		return nil
+	}
+	var err error
+	if s.mode == ModeSync {
+		err = s.rt.AtomicSerial(func(tx *stm.Tx) error { return run(tx) })
+	} else {
+		err = s.rt.Atomic(run)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// View runs fn as a read-only transaction over the store.
+func (s *Store) View(fn func(tx *stm.Tx) error) error {
+	return s.rt.Atomic(fn)
+}
+
+// Get reads key inside tx (for composing with other transactional state).
+func (s *Store) Get(tx *stm.Tx, key string) (string, bool) { return s.m.get(tx, key) }
+
+// Len reports the number of keys inside tx.
+func (s *Store) Len(tx *stm.Tx) int { return s.m.length(tx) }
+
+// Range iterates all entries inside tx until fn returns false.
+func (s *Store) Range(tx *stm.Tx, fn func(k, v string) bool) { s.m.rangeAll(tx, fn) }
+
+// WaitDurable blocks until the WAL flush covering lsn has completed
+// (returns immediately for lsn 0 or in ModeNone).
+func (s *Store) WaitDurable(lsn uint64) {
+	if s.log == nil || lsn == 0 {
+		return
+	}
+	s.log.WaitDurable(lsn)
+}
+
+// LastDurable returns the durability watermark inside tx, serializing
+// behind any in-flight flush (0 in ModeNone).
+func (s *Store) LastDurable(tx *stm.Tx) uint64 {
+	if s.log == nil {
+		return 0
+	}
+	return s.log.LastDurable(tx)
+}
+
+// Checkpoint snapshots the store into the log's new recovery base and
+// prunes covered segments. Returns the covered LSN.
+func (s *Store) Checkpoint() (uint64, error) {
+	if s.log == nil {
+		return 0, errors.New("kv: checkpoint without a WAL")
+	}
+	return s.log.Checkpoint(func(tx *stm.Tx) ([]byte, uint64, error) {
+		kvs := make(map[string]string)
+		s.m.rangeAll(tx, func(k, v string) bool {
+			kvs[k] = v
+			return true
+		})
+		return encodeSnapshot(kvs), s.log.LastAssigned(tx), nil
+	})
+}
+
+// Log exposes the underlying WAL (nil in ModeNone) for stats and waits.
+func (s *Store) Log() *wal.Log { return s.log }
+
+// Mode reports the store's durability mode.
+func (s *Store) Mode() Mode { return s.mode }
+
+// Runtime returns the STM runtime the store's transactions run on.
+func (s *Store) Runtime() *stm.Runtime { return s.rt }
+
+// Close flushes and closes the WAL (no-op in ModeNone). Concurrent
+// updates must have stopped.
+func (s *Store) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}

@@ -1,0 +1,99 @@
+package kv
+
+import (
+	"hash/maphash"
+
+	"deferstm/internal/stm"
+)
+
+// smap is a string-keyed transactional hash map, same construction as
+// ds.HashMap (fixed bucket array, immutable chain nodes) but keyed for the
+// store's API. Operations on different buckets never conflict.
+type smap struct {
+	seed    maphash.Seed
+	buckets []stm.Var[*snode]
+	size    stm.Var[int]
+}
+
+type snode struct {
+	key  string
+	val  string
+	next *snode
+}
+
+func newSmap(nBuckets int) *smap {
+	if nBuckets < 16 {
+		nBuckets = 16
+	}
+	return &smap{seed: maphash.MakeSeed(), buckets: make([]stm.Var[*snode], nBuckets)}
+}
+
+func (m *smap) bucket(k string) *stm.Var[*snode] {
+	return &m.buckets[maphash.String(m.seed, k)%uint64(len(m.buckets))]
+}
+
+func (m *smap) get(tx *stm.Tx, k string) (string, bool) {
+	for n := m.bucket(k).Get(tx); n != nil; n = n.next {
+		if n.key == k {
+			return n.val, true
+		}
+	}
+	return "", false
+}
+
+func (m *smap) put(tx *stm.Tx, k, v string) {
+	b := m.bucket(k)
+	head := b.Get(tx)
+	for n := head; n != nil; n = n.next {
+		if n.key == k {
+			b.Set(tx, replaceSnode(head, k, v))
+			return
+		}
+	}
+	b.Set(tx, &snode{key: k, val: v, next: head})
+	m.size.Set(tx, m.size.Get(tx)+1)
+}
+
+func replaceSnode(head *snode, k, v string) *snode {
+	if head.key == k {
+		return &snode{key: k, val: v, next: head.next}
+	}
+	return &snode{key: head.key, val: head.val, next: replaceSnode(head.next, k, v)}
+}
+
+func (m *smap) delete(tx *stm.Tx, k string) bool {
+	b := m.bucket(k)
+	head := b.Get(tx)
+	found := false
+	for n := head; n != nil; n = n.next {
+		if n.key == k {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	b.Set(tx, removeSnode(head, k))
+	m.size.Set(tx, m.size.Get(tx)-1)
+	return true
+}
+
+func removeSnode(head *snode, k string) *snode {
+	if head.key == k {
+		return head.next
+	}
+	return &snode{key: head.key, val: head.val, next: removeSnode(head.next, k)}
+}
+
+func (m *smap) length(tx *stm.Tx) int { return m.size.Get(tx) }
+
+func (m *smap) rangeAll(tx *stm.Tx, fn func(k, v string) bool) {
+	for i := range m.buckets {
+		for n := m.buckets[i].Get(tx); n != nil; n = n.next {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+	}
+}

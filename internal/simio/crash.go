@@ -1,0 +1,195 @@
+package simio
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Crash injection: a CrashPlan arms the filesystem to capture a byte-exact
+// image of its state ("what is on the media") at an adversarial instant —
+// in the middle of a write, just before an fsync takes effect, or just
+// after. The live filesystem keeps running; the image is what a process
+// restarted after a power failure at that instant would find. FSFromImage
+// reconstructs a filesystem from the image, applying the usual crash
+// semantics: the synced prefix of every file survives intact, and of the
+// unsynced tail an arbitrary (seeded) prefix survives, possibly with its
+// last byte corrupted — a torn write. Recovery code (internal/wal) must
+// detect and truncate such tails via per-record CRCs.
+
+// CrashPoint selects the instant a CrashPlan captures the image.
+type CrashPoint int
+
+const (
+	// CrashMidWrite captures during the Nth write, after only a partial
+	// prefix of the payload has reached the file (the rest of the
+	// reserved range reads as zeros — a torn append).
+	CrashMidWrite CrashPoint = iota
+	// CrashPreFsync captures at the Nth fsync, before it takes effect:
+	// everything written since the previous fsync is still volatile.
+	CrashPreFsync
+	// CrashPostFsync captures at the Nth fsync, after it takes effect:
+	// the fsync's data is durable but nothing after it is.
+	CrashPostFsync
+)
+
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashMidWrite:
+		return "mid-write"
+	case CrashPreFsync:
+		return "pre-fsync"
+	case CrashPostFsync:
+		return "post-fsync"
+	default:
+		return "crash(?)"
+	}
+}
+
+// CrashPlan arms crash capture on an FS. The image is captured once, at
+// the Nth (1-based) operation of the planned kind; OnCrash, if non-nil,
+// is called synchronously at the capture instant (outside all filesystem
+// locks) — tests use it to snapshot what the system had acknowledged as
+// durable at the moment of the crash.
+type CrashPlan struct {
+	Point   CrashPoint
+	N       uint64
+	OnCrash func()
+}
+
+// SetCrashPlan arms p. Call before the workload; a second call replaces
+// the plan but an already-captured image is kept.
+func (fs *FS) SetCrashPlan(p CrashPlan) {
+	fs.crashPlan.Store(&p)
+}
+
+// Crashed reports whether the planned crash point has been reached.
+func (fs *FS) Crashed() bool { return fs.crashImg.Load() != nil }
+
+// CrashImage returns the captured image, or nil if the crash point has
+// not been reached.
+func (fs *FS) CrashImage() *Image { return fs.crashImg.Load() }
+
+// Image is a byte-exact snapshot of a filesystem at a crash instant.
+type Image struct {
+	files map[string]imageFile
+}
+
+type imageFile struct {
+	data   []byte
+	synced int
+}
+
+// crashWriteSplit reports, for the current write call, how many of n
+// payload bytes should land before the image is captured. It returns
+// (n, false) when this write does not trigger the plan.
+func (fs *FS) crashWriteSplit(n int) (int, bool) {
+	p := fs.crashPlan.Load()
+	if p == nil || p.Point != CrashMidWrite || fs.Crashed() {
+		return n, false
+	}
+	if fs.crashWrites.Add(1) != p.N {
+		return n, false
+	}
+	return n / 2, true
+}
+
+// crashFsyncHit reports whether the current fsync triggers the plan at
+// the given point (CrashPreFsync or CrashPostFsync). The operation
+// counter is shared between the two points: the Nth fsync triggers
+// whichever one the plan names.
+func (fs *FS) crashFsyncHit(point CrashPoint) bool {
+	p := fs.crashPlan.Load()
+	if p == nil || p.Point != point || fs.Crashed() {
+		return false
+	}
+	return fs.crashFsyncs.Add(1) == p.N
+}
+
+// captureCrash snapshots every file's (data, synced) pair into the FS's
+// crash image and fires the plan's OnCrash callback. It must be called
+// without holding fs.mu or any fileData mutex.
+func (fs *FS) captureCrash() {
+	fs.mu.Lock()
+	fds := make(map[string]*fileData, len(fs.files))
+	for name, fd := range fs.files {
+		fds[name] = fd
+	}
+	fs.mu.Unlock()
+
+	img := &Image{files: make(map[string]imageFile, len(fds))}
+	for name, fd := range fds {
+		fd.mu.Lock()
+		data := make([]byte, len(fd.data))
+		copy(data, fd.data)
+		img.files[name] = imageFile{data: data, synced: fd.synced}
+		fd.mu.Unlock()
+	}
+	if !fs.crashImg.CompareAndSwap(nil, img) {
+		return // a concurrent capture won; keep the first image
+	}
+	if p := fs.crashPlan.Load(); p != nil && p.OnCrash != nil {
+		p.OnCrash()
+	}
+}
+
+// FSFromImage reconstructs the filesystem a restarted process would see
+// after a crash at the image's instant. For every file the synced prefix
+// survives; of the unsynced tail, a seeded-random prefix survives, and
+// with probability 1/2 the last surviving torn byte is bit-flipped
+// (corrupted sector). All surviving bytes are marked synced — they are,
+// by definition, what the media holds.
+func FSFromImage(img *Image, lat Latency, seed uint64) *FS {
+	rng := seed*2654435761 + 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	fs := NewFS(lat)
+	for name, f := range img.files {
+		keep := f.synced
+		if tail := len(f.data) - f.synced; tail > 0 {
+			keep += int(next() % uint64(tail+1))
+		}
+		data := make([]byte, keep)
+		copy(data, f.data[:keep])
+		if keep > f.synced && next()&1 == 0 {
+			data[keep-1] ^= 1 << (next() % 8)
+		}
+		fs.files[name] = &fileData{data: data, synced: keep}
+	}
+	return fs
+}
+
+// Truncate cuts a file to size bytes (a no-op if it is already shorter),
+// clamping the synced prefix. Recovery uses it to drop torn tails.
+func (fs *FS) Truncate(name string, size int) error {
+	if size < 0 {
+		return fmt.Errorf("truncate %s: negative size", name)
+	}
+	fs.mu.Lock()
+	fd, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("truncate %s: %w", name, ErrNotExist)
+	}
+	fd.mu.Lock()
+	if size < len(fd.data) {
+		fd.data = fd.data[:size]
+	}
+	if fd.synced > size {
+		fd.synced = size
+	}
+	fd.mu.Unlock()
+	return nil
+}
+
+// crashState holds the FS fields backing crash injection; embedded in FS
+// so the zero value (no plan) is free.
+type crashState struct {
+	crashPlan   atomic.Pointer[CrashPlan]
+	crashImg    atomic.Pointer[Image]
+	crashWrites atomic.Uint64
+	crashFsyncs atomic.Uint64
+}

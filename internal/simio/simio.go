@@ -120,6 +120,8 @@ type FS struct {
 	opens, closes, writes, reads, seeks, fsyncs atomic.Uint64
 	bytesWritten                                atomic.Uint64
 	transientErrs, fatalErrs                    atomic.Uint64
+
+	crashState // crash-image capture (see crash.go)
 }
 
 type fileData struct {
@@ -327,6 +329,12 @@ func (f *File) Write(p []byte) (int, error) {
 		return 0, fmt.Errorf("write %s: %w", f.name, ErrFatal)
 	}
 
+	// Crash injection: if this is the planned mid-write crash, only a
+	// prefix of the payload is on the file when the image is captured;
+	// the rest of the reserved range reads as zeros (a torn append). The
+	// live write then completes normally.
+	split, crashing := f.fs.crashWriteSplit(n)
+
 	f.fd.mu.Lock()
 	off := f.offset
 	if f.appendMode {
@@ -341,8 +349,15 @@ func (f *File) Write(p []byte) (int, error) {
 			f.fd.data = f.fd.data[:need]
 		}
 	}
-	copy(f.fd.data[off:off+n], p[:n])
+	copy(f.fd.data[off:off+split], p[:split])
 	f.fd.mu.Unlock()
+
+	if crashing {
+		f.fs.captureCrash()
+		f.fd.mu.Lock()
+		copy(f.fd.data[off+split:off+n], p[split:n])
+		f.fd.mu.Unlock()
+	}
 
 	f.offset = off + n
 	f.fs.bytesWritten.Add(uint64(n))
@@ -415,9 +430,15 @@ func (f *File) Fsync() error {
 	if f.closed {
 		return fmt.Errorf("fsync %s: %w", f.name, ErrClosed)
 	}
+	if f.fs.crashFsyncHit(CrashPreFsync) {
+		f.fs.captureCrash()
+	}
 	f.fd.mu.Lock()
 	f.fd.synced = len(f.fd.data)
 	f.fd.mu.Unlock()
+	if f.fs.crashFsyncHit(CrashPostFsync) {
+		f.fs.captureCrash()
+	}
 	return nil
 }
 

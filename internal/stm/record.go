@@ -50,6 +50,15 @@ const (
 	EvDeferLock    // one per protected object: Var = lock owner-var ID
 	EvDeferStart   // the deferred λ begins executing
 	EvDeferEnd     // the λ finished and its locks were released
+
+	// WAL events are emitted by package wal. EvWALAppend is queued on the
+	// appending transaction (flushed only if it commits): Aux is the LSN
+	// it reserved, Var the log's lock owner-variable ID. EvWALDurable is
+	// emitted by a flush after its fsync returned: Aux is the new durable
+	// watermark — every record with LSN ≤ Aux is on stable storage. The
+	// durability checker (internal/check) consumes both.
+	EvWALAppend
+	EvWALDurable
 )
 
 func (k EventKind) String() string {
@@ -84,6 +93,10 @@ func (k EventKind) String() string {
 		return "defer-start"
 	case EvDeferEnd:
 		return "defer-end"
+	case EvWALAppend:
+		return "wal-append"
+	case EvWALDurable:
+		return "wal-durable"
 	default:
 		return "event(?)"
 	}

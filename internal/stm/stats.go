@@ -25,6 +25,13 @@ type Stats struct {
 	DeferredOps    atomic.Uint64 // AfterCommit hooks executed (set by core)
 	DeferredFrees  atomic.Uint64 // QueueFree actions executed (set by mempool)
 	InjectedFaults atomic.Uint64 // faults fired by Config.Inject
+
+	// WAL counters, incremented by package wal. A "flush" is one drain
+	// of the log's batch queue followed by one fsync; WALRecords /
+	// WALFlushes is therefore the mean group-commit batch size.
+	WALRecords     atomic.Uint64 // records appended to log segments
+	WALFlushes     atomic.Uint64 // batch flushes (one fsync each)
+	WALCheckpoints atomic.Uint64 // checkpoints written
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -44,6 +51,9 @@ type StatsSnapshot struct {
 	DeferredOps    uint64
 	DeferredFrees  uint64
 	InjectedFaults uint64
+	WALRecords     uint64
+	WALFlushes     uint64
+	WALCheckpoints uint64
 }
 
 // Stats returns a pointer to the live counters (for incrementing by
@@ -69,29 +79,40 @@ func (rt *Runtime) Snapshot() StatsSnapshot {
 		DeferredOps:    s.DeferredOps.Load(),
 		DeferredFrees:  s.DeferredFrees.Load(),
 		InjectedFaults: s.InjectedFaults.Load(),
+		WALRecords:     s.WALRecords.Load(),
+		WALFlushes:     s.WALFlushes.Load(),
+		WALCheckpoints: s.WALCheckpoints.Load(),
 	}
 }
 
-// Sub returns the per-field difference s - old (for measuring an interval).
-func (s StatsSnapshot) Sub(old StatsSnapshot) StatsSnapshot {
+// Delta returns the per-field difference s - prev: the counter activity of
+// the interval between the two snapshots. It is the canonical way to report
+// per-workload or per-phase statistics (cmd/stmtorture, cmd/kvbench).
+func (s StatsSnapshot) Delta(prev StatsSnapshot) StatsSnapshot {
 	return StatsSnapshot{
-		Starts:         s.Starts - old.Starts,
-		Commits:        s.Commits - old.Commits,
-		UserAborts:     s.UserAborts - old.UserAborts,
-		AbortsConflict: s.AbortsConflict - old.AbortsConflict,
-		AbortsCapacity: s.AbortsCapacity - old.AbortsCapacity,
-		AbortsSyscall:  s.AbortsSyscall - old.AbortsSyscall,
-		Retries:        s.Retries - old.Retries,
-		Extensions:     s.Extensions - old.Extensions,
-		Serializations: s.Serializations - old.Serializations,
-		SerialRuns:     s.SerialRuns - old.SerialRuns,
-		QuiesceWaits:   s.QuiesceWaits - old.QuiesceWaits,
-		QuiesceNanos:   s.QuiesceNanos - old.QuiesceNanos,
-		DeferredOps:    s.DeferredOps - old.DeferredOps,
-		DeferredFrees:  s.DeferredFrees - old.DeferredFrees,
-		InjectedFaults: s.InjectedFaults - old.InjectedFaults,
+		Starts:         s.Starts - prev.Starts,
+		Commits:        s.Commits - prev.Commits,
+		UserAborts:     s.UserAborts - prev.UserAborts,
+		AbortsConflict: s.AbortsConflict - prev.AbortsConflict,
+		AbortsCapacity: s.AbortsCapacity - prev.AbortsCapacity,
+		AbortsSyscall:  s.AbortsSyscall - prev.AbortsSyscall,
+		Retries:        s.Retries - prev.Retries,
+		Extensions:     s.Extensions - prev.Extensions,
+		Serializations: s.Serializations - prev.Serializations,
+		SerialRuns:     s.SerialRuns - prev.SerialRuns,
+		QuiesceWaits:   s.QuiesceWaits - prev.QuiesceWaits,
+		QuiesceNanos:   s.QuiesceNanos - prev.QuiesceNanos,
+		DeferredOps:    s.DeferredOps - prev.DeferredOps,
+		DeferredFrees:  s.DeferredFrees - prev.DeferredFrees,
+		InjectedFaults: s.InjectedFaults - prev.InjectedFaults,
+		WALRecords:     s.WALRecords - prev.WALRecords,
+		WALFlushes:     s.WALFlushes - prev.WALFlushes,
+		WALCheckpoints: s.WALCheckpoints - prev.WALCheckpoints,
 	}
 }
+
+// Sub is a deprecated alias for Delta.
+func (s StatsSnapshot) Sub(prev StatsSnapshot) StatsSnapshot { return s.Delta(prev) }
 
 // Aborts returns the total number of aborted attempts of all kinds
 // (excluding user aborts, which are final).
@@ -100,10 +121,15 @@ func (s StatsSnapshot) Aborts() uint64 {
 }
 
 func (s StatsSnapshot) String() string {
-	return fmt.Sprintf(
+	base := fmt.Sprintf(
 		"commits=%d aborts(conflict=%d capacity=%d syscall=%d) retries=%d serializations=%d serialRuns=%d quiesce(waits=%d ms=%.1f) deferred(ops=%d frees=%d) injected=%d",
 		s.Commits, s.AbortsConflict, s.AbortsCapacity, s.AbortsSyscall,
 		s.Retries, s.Serializations, s.SerialRuns,
 		s.QuiesceWaits, float64(s.QuiesceNanos)/1e6,
 		s.DeferredOps, s.DeferredFrees, s.InjectedFaults)
+	if s.WALRecords != 0 || s.WALFlushes != 0 || s.WALCheckpoints != 0 {
+		base += fmt.Sprintf(" wal(records=%d flushes=%d ckpts=%d)",
+			s.WALRecords, s.WALFlushes, s.WALCheckpoints)
+	}
+	return base
 }

@@ -1,0 +1,637 @@
+// Package wal implements a durable write-ahead log whose group commit is
+// built from the paper's atomic deferral (package core) rather than a
+// dedicated flusher thread.
+//
+// The construction: a Log is a Deferrable object whose transaction-
+// friendly lock (Listing 2) guards the segment files and the published
+// durability watermark. A transaction appends by reserving the next LSN
+// and pushing its encoded record onto a transactional batch queue — pure
+// Var writes, so appenders never block on I/O inside the transaction —
+// and then defers the flush:
+//
+//   - if the log lock is free in the transaction's snapshot, the
+//     transaction becomes the batch leader: it defers the flush with
+//     AtomicDefer(tx, flush, log), acquiring the log lock atomically at
+//     commit. Between the leader's commit and its flush completing, no
+//     other owner can observe the log's durability state — the paper's
+//     deferral-atomicity guarantee, applied to fsync.
+//   - if the lock is held (a flush is in flight), the transaction is a
+//     follower: it commits immediately — no waiting — and defers a
+//     "pass nil" operation that waits for the in-flight flush, then
+//     flushes itself only if its record was not already covered.
+//
+// Group commit falls out: every record committed while a flush is in
+// flight lands in the queue, and the next flush drains the whole queue
+// with a single fsync. Transactions that read durability state
+// (LastDurable, WaitDurable) subscribe to the log lock first, so they
+// serialize correctly behind in-flight flushes and can never observe a
+// half-published watermark.
+//
+// Records carry CRC-32C and their LSN (record.go); recovery (Open)
+// replays segments in order, verifies every record, truncates a torn
+// tail, and restores the checkpoint/segment structure. Checkpoints write
+// an application snapshot through the same record format and prune fully
+// covered segments.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"deferstm/internal/core"
+	"deferstm/internal/stm"
+)
+
+// Options parameterizes a Log. The zero value is usable.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a flush that would grow the
+	// current segment past this many bytes rotates to a new segment
+	// first. 0 means 1 MiB.
+	SegmentBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	return o
+}
+
+// Record is one replayed log record.
+type Record struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// Recovery describes what Open found on storage.
+type Recovery struct {
+	// CheckpointLSN and Checkpoint are the newest valid checkpoint (LSN 0
+	// and nil when none exists).
+	CheckpointLSN uint64
+	Checkpoint    []byte
+	// Records are the intact records with LSN > CheckpointLSN, ascending.
+	Records []Record
+	// LastLSN is the highest LSN the recovered state covers:
+	// max(CheckpointLSN, last record LSN).
+	LastLSN uint64
+	// TornBytes counts bytes truncated from the final segment's torn
+	// tail (0 for a clean shutdown).
+	TornBytes int
+}
+
+// pnode is one entry of the transactional batch queue (a cons list,
+// newest first; drains reverse it).
+type pnode struct {
+	lsn     uint64
+	payload []byte
+	next    *pnode
+}
+
+type segMeta struct {
+	name  string
+	start uint64 // first LSN the segment may contain
+}
+
+// BatchStats summarizes group-commit behaviour since the Log was opened.
+type BatchStats struct {
+	Flushes  uint64     // drain+fsync cycles
+	Records  uint64     // records written through those flushes
+	MaxBatch uint64     // largest single batch
+	Hist     [17]uint64 // Hist[i] counts batches with bits.Len64(size) == i
+}
+
+// Mean returns the mean batch size (0 when no flush happened).
+func (s BatchStats) Mean() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Records) / float64(s.Flushes)
+}
+
+// Log is a durable, group-committing write-ahead log. Create one with
+// Open; all methods are safe for concurrent use by transactions on the
+// Log's runtime.
+type Log struct {
+	core.Deferrable // the log's TxLock: guards files + watermark publishes
+
+	rt   *stm.Runtime
+	b    Backend
+	opts Options
+
+	nextLSN stm.Var[uint64] // next LSN to reserve
+	pending stm.Var[*pnode] // committed-but-unflushed records
+	durable stm.Var[uint64] // published watermark; writes hold the log lock
+
+	// File state. Mutators hold the log's TxLock; fmu makes the
+	// happens-before explicit for the race detector and for Close.
+	fmu      sync.Mutex
+	cur      File
+	curName  string
+	curBytes int
+	segs     []segMeta // ascending by start; last is cur
+	closed   bool
+
+	flushes  atomic.Uint64
+	records  atomic.Uint64
+	maxBatch atomic.Uint64
+	hist     [17]atomic.Uint64
+}
+
+const (
+	segPrefix  = "seg-"
+	ckptPrefix = "ckpt-"
+)
+
+func segName(start uint64) string { return fmt.Sprintf("%s%016x", segPrefix, start) }
+func ckptName(lsn uint64) string  { return fmt.Sprintf("%s%016x", ckptPrefix, lsn) }
+func parseName(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(prefix):], 16, 64)
+	return v, err == nil
+}
+
+// ErrCorrupt reports unrecoverable log damage: an invalid record that is
+// not a torn tail (i.e. not at the end of the final segment).
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// Open replays the log stored in b and returns a Log positioned to append
+// after the last intact record. The caller replays Recovery (checkpoint
+// blob, then records) into its own state before starting transactions.
+func Open(rt *stm.Runtime, b Backend, opts Options) (*Log, *Recovery, error) {
+	opts = opts.withDefaults()
+	names, err := b.Names()
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: list backend: %w", err)
+	}
+
+	var segs []segMeta
+	var ckpts []uint64
+	for _, n := range names {
+		if start, ok := parseName(n, segPrefix); ok {
+			segs = append(segs, segMeta{name: n, start: start})
+		} else if lsn, ok := parseName(n, ckptPrefix); ok {
+			ckpts = append(ckpts, lsn)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].start < segs[j].start })
+
+	rec := &Recovery{}
+	// Newest checkpoint whose single record is intact and self-consistent
+	// wins; older ones are fallbacks for a checkpoint torn by a crash.
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+	for _, lsn := range ckpts {
+		data, err := readWhole(b, ckptName(lsn))
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: read checkpoint: %w", err)
+		}
+		gotLSN, blob, rest, ok := decodeNext(data)
+		if !ok || gotLSN != lsn || len(rest) != 0 {
+			continue // torn checkpoint; fall back to an older one
+		}
+		rec.CheckpointLSN = lsn
+		rec.Checkpoint = append([]byte(nil), blob...)
+		break
+	}
+
+	prev := uint64(0)
+	for i, s := range segs {
+		data, err := readWhole(b, s.name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: read segment %s: %w", s.name, err)
+		}
+		off := 0
+		for off < len(data) {
+			lsn, payload, _, ok := decodeNext(data[off:])
+			if !ok {
+				if i != len(segs)-1 {
+					return nil, nil, fmt.Errorf("%w: invalid record at %s+%d with later segments present", ErrCorrupt, s.name, off)
+				}
+				rec.TornBytes = len(data) - off
+				if err := b.Truncate(s.name, int64(off)); err != nil {
+					return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+				}
+				break
+			}
+			// LSNs must be contiguous, except that a gap entirely at or
+			// below the checkpoint is legal: those records were captured
+			// by the checkpoint before ever reaching a segment.
+			if prev != 0 && lsn != prev+1 && lsn-1 > rec.CheckpointLSN {
+				return nil, nil, fmt.Errorf("%w: LSN gap %d→%d above checkpoint %d", ErrCorrupt, prev, lsn, rec.CheckpointLSN)
+			}
+			if lsn <= prev {
+				return nil, nil, fmt.Errorf("%w: LSN %d not increasing after %d", ErrCorrupt, lsn, prev)
+			}
+			if lsn > rec.CheckpointLSN {
+				rec.Records = append(rec.Records, Record{LSN: lsn, Payload: append([]byte(nil), payload...)})
+			}
+			prev = lsn
+			off += recordSize(len(payload))
+		}
+	}
+	rec.LastLSN = max(prev, rec.CheckpointLSN)
+
+	l := &Log{rt: rt, b: b, opts: opts, segs: segs}
+	l.nextLSN.Init(rec.LastLSN + 1)
+	l.durable.Init(rec.LastLSN)
+	if len(segs) == 0 {
+		l.segs = []segMeta{{name: segName(rec.LastLSN + 1), start: rec.LastLSN + 1}}
+		if l.cur, err = b.Create(l.segs[0].name); err != nil {
+			return nil, nil, fmt.Errorf("wal: create segment: %w", err)
+		}
+		l.curName = l.segs[0].name
+	} else {
+		last := segs[len(segs)-1]
+		if l.cur, err = b.OpenAppend(last.name); err != nil {
+			return nil, nil, fmt.Errorf("wal: reopen segment: %w", err)
+		}
+		l.curName = last.name
+		sz, err := l.cur.Size()
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: segment size: %w", err)
+		}
+		l.curBytes = int(sz)
+	}
+	return l, rec, nil
+}
+
+// Runtime returns the runtime the log's transactions run on.
+func (l *Log) Runtime() *stm.Runtime { return l.rt }
+
+// Append reserves the next LSN for payload and schedules it for durable
+// append, all within tx: if tx aborts, nothing happened. The record
+// becomes readable in the log's serialization order the moment tx
+// commits, and durable when a group-commit flush covers it (WaitDurable
+// blocks for exactly that; the returned LSN is the handle).
+//
+// The committing transaction's own deferred operation drives the flush:
+// the first appender to find the log lock free leads the next batch and
+// acquires the lock atomically at its commit; appenders that find a
+// flush in flight commit without blocking and their deferred operation
+// joins (or performs) the next batch.
+func (l *Log) Append(tx *stm.Tx, payload []byte) uint64 {
+	lsn := l.nextLSN.Get(tx)
+	l.nextLSN.Set(tx, lsn+1)
+	cp := append([]byte(nil), payload...)
+	l.pending.Set(tx, &pnode{lsn: lsn, payload: cp, next: l.pending.Get(tx)})
+	if l.rt.Recording() {
+		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALAppend, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn})
+	}
+	switch l.Lock().HeldBy(tx) {
+	case 0:
+		// Leader: the flush runs between our commit and any observation
+		// of the durability state — classic atomic deferral.
+		core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+			l.drainAndFlush(ctx)
+		}, l)
+	case tx.Owner():
+		// This transaction (or this owner's enclosing context) already
+		// holds the lock; the flush it scheduled covers this record too.
+	default:
+		// Follower: a flush is in flight. Commit now, join later.
+		core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+			l.ensureDurable(ctx, lsn)
+		})
+	}
+	return lsn
+}
+
+// AppendSync appends and fsyncs payload immediately, inside a serial
+// (irrevocable) transaction — the fsync-per-commit baseline the paper's
+// irrevocability sections describe. tx must be serial (call
+// tx.Irrevocable() first); the write is safe exactly because the
+// transaction can no longer abort. A log driven through AppendSync must
+// not also be driven through Append.
+func (l *Log) AppendSync(tx *stm.Tx, payload []byte) (uint64, error) {
+	if !tx.Serial() {
+		panic("wal: AppendSync outside a serial transaction")
+	}
+	lsn := l.nextLSN.Get(tx)
+	l.nextLSN.Set(tx, lsn+1)
+	if l.rt.Recording() {
+		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALAppend, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn})
+	}
+	l.fmu.Lock()
+	err := l.writeLocked([]Record{{LSN: lsn, Payload: payload}})
+	l.fmu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	l.durable.Set(tx, lsn)
+	l.noteBatch(1)
+	if l.rt.Recording() {
+		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALDurable, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn})
+	}
+	return lsn, nil
+}
+
+// LastDurable returns the durability watermark inside tx, subscribing to
+// the log lock first: while a flush is in flight the transaction waits
+// (via retry), and once it reads the watermark, any later flush conflicts
+// with it — the subscription semantics of the paper's Listing 2 applied
+// to durability state.
+func (l *Log) LastDurable(tx *stm.Tx) uint64 {
+	l.Subscribe(tx)
+	return l.durable.Get(tx)
+}
+
+// DurableWatermark returns the published watermark without a transaction
+// (diagnostics; it may be stale by the time the caller acts on it).
+func (l *Log) DurableWatermark() uint64 { return l.durable.Load() }
+
+// LastAssigned returns the newest reserved LSN in tx's snapshot.
+func (l *Log) LastAssigned(tx *stm.Tx) uint64 { return l.nextLSN.Get(tx) - 1 }
+
+// WaitDurable blocks until the watermark covers lsn, using retry-based
+// condition synchronization: the waiter sleeps until a flush publishes a
+// new watermark.
+//
+// Unlike LastDurable it deliberately does NOT subscribe to the log lock:
+// the watermark is published (and retriers woken) while the flushing
+// operation still holds the lock, so a waiter whose record is already
+// covered resumes immediately — and its next append observes the lock
+// held and joins the next batch as a follower. Subscribing here would
+// park every waiter until the lock is released, waking them all into the
+// brief window where the lock is free; they would then all elect
+// themselves leader and serialize, defeating group commit entirely.
+func (l *Log) WaitDurable(lsn uint64) {
+	_ = l.rt.Atomic(func(tx *stm.Tx) error {
+		if l.durable.Get(tx) < lsn {
+			tx.Retry()
+		}
+		return nil
+	})
+}
+
+// Flush forces a drain+fsync of everything appended so far (used by
+// Close, checkpoints and tests; normal operation never needs it).
+func (l *Log) Flush() {
+	me := l.rt.NewOwner()
+	l.Lock().AcquireOutside(l.rt, me)
+	defer func() { _ = l.Lock().ReleaseOutside(l.rt, me) }()
+	l.drainAndFlush(core.NewOpCtx(l.rt, me))
+}
+
+// ensureDurable is the follower path: wait until the watermark covers
+// lsn, flushing the next batch ourselves if we find the log lock free
+// before that happens.
+//
+// Crucially the wait is on the WATERMARK, not the lock: a follower whose
+// record is covered by someone else's flush returns without ever touching
+// the lock. Waiting by acquiring the lock (the obvious implementation)
+// starves: a parked acquirer must be rescheduled and re-run its
+// transaction when the lock is released, and it loses that race to the
+// releasing goroutine's own next append — which re-acquires the lock
+// in-transaction within microseconds — every single time. The observable
+// result is one goroutine flushing batches of one in a loop while every
+// other goroutine sleeps for the rest of the run.
+func (l *Log) ensureDurable(ctx *core.OpCtx, lsn uint64) {
+	if l.durable.Load() >= lsn {
+		return // an earlier batch covered us
+	}
+	rt, me := ctx.Runtime(), ctx.Owner()
+	acquired := false
+	_ = rt.AtomicAs(me, func(tx *stm.Tx) error {
+		acquired = false
+		if l.durable.Get(tx) < lsn {
+			// Both the watermark and the lock owner are now in the read
+			// set: whichever changes first wakes us. Every flush drains
+			// the whole pending queue, so the next flush after our
+			// append's commit necessarily covers us — no starvation.
+			if !l.Lock().TryAcquireAs(tx, me) {
+				tx.Retry()
+			}
+			acquired = true
+		}
+		return nil
+	})
+	if !acquired {
+		return
+	}
+	if l.durable.Load() < lsn {
+		l.drainAndFlush(ctx)
+	}
+	if err := l.Lock().ReleaseOutside(rt, me); err != nil {
+		panic("wal: follower flush release failed: " + err.Error())
+	}
+}
+
+// drainAndFlush drains the batch queue, appends the records in LSN order,
+// fsyncs once, and publishes the new watermark. The caller must hold the
+// log's TxLock (via AtomicDefer or AcquireOutside) under ctx.Owner().
+// An unwritable backend is fatal: the log cannot lose a record it
+// promised to flush, so a persistent write error panics.
+func (l *Log) drainAndFlush(ctx *core.OpCtx) {
+	var head *pnode
+	_ = ctx.Atomic(func(tx *stm.Tx) error {
+		head = l.pending.Get(tx)
+		if head != nil {
+			l.pending.Set(tx, nil)
+		}
+		return nil
+	})
+	if head == nil {
+		return
+	}
+	n := 0
+	for p := head; p != nil; p = p.next {
+		n++
+	}
+	batch := make([]Record, n)
+	for p := head; p != nil; p = p.next {
+		n--
+		batch[n] = Record{LSN: p.lsn, Payload: p.payload}
+	}
+
+	l.fmu.Lock()
+	err := l.writeLocked(batch)
+	l.fmu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("wal: flush failed, log would lose committed records: %v", err))
+	}
+
+	watermark := batch[len(batch)-1].LSN
+	core.Store(ctx, &l.durable, watermark)
+	l.noteBatch(uint64(len(batch)))
+	l.rt.RecordEvent(stm.Event{Kind: stm.EvWALDurable, Owner: ctx.Owner(), Var: l.Lock().VarID(), Aux: watermark})
+}
+
+// writeLocked appends batch to the current segment (rotating as needed)
+// and fsyncs. Caller holds fmu.
+func (l *Log) writeLocked(batch []Record) error {
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	for _, r := range batch {
+		sz := recordSize(len(r.Payload))
+		if l.curBytes > 0 && l.curBytes+sz > l.opts.SegmentBytes {
+			if err := l.rotateLocked(r.LSN); err != nil {
+				return err
+			}
+		}
+		if err := writeFull(l.cur, appendRecord(nil, r.LSN, r.Payload)); err != nil {
+			return err
+		}
+		l.curBytes += sz
+	}
+	return l.cur.Fsync()
+}
+
+// rotateLocked fsyncs and closes the current segment, then starts a new
+// one whose name records the first LSN it will hold. The fsync-before-
+// create ordering is what recovery relies on: a later segment exists only
+// if every earlier segment is fully durable.
+func (l *Log) rotateLocked(nextLSN uint64) error {
+	if err := l.cur.Fsync(); err != nil {
+		return err
+	}
+	if err := l.cur.Close(); err != nil {
+		return err
+	}
+	name := segName(nextLSN)
+	f, err := l.b.Create(name)
+	if err != nil {
+		return err
+	}
+	l.cur, l.curName, l.curBytes = f, name, 0
+	l.segs = append(l.segs, segMeta{name: name, start: nextLSN})
+	return nil
+}
+
+// writeFull writes buf completely, resuming after short writes (the
+// paper's pipeline_out retry loop). An error with no forward progress is
+// returned.
+func writeFull(f File, buf []byte) error {
+	sent := 0
+	for sent < len(buf) {
+		n, err := f.Write(buf[sent:])
+		sent += n
+		if err != nil && n == 0 {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) noteBatch(n uint64) {
+	l.flushes.Add(1)
+	l.records.Add(n)
+	for {
+		cur := l.maxBatch.Load()
+		if n <= cur || l.maxBatch.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	b := bits.Len64(n)
+	if b >= len(l.hist) {
+		b = len(l.hist) - 1
+	}
+	l.hist[b].Add(1)
+	l.rt.Stats().WALFlushes.Add(1)
+	l.rt.Stats().WALRecords.Add(n)
+}
+
+// BatchStats returns group-commit statistics since Open.
+func (l *Log) BatchStats() BatchStats {
+	s := BatchStats{
+		Flushes:  l.flushes.Load(),
+		Records:  l.records.Load(),
+		MaxBatch: l.maxBatch.Load(),
+	}
+	for i := range l.hist {
+		s.Hist[i] = l.hist[i].Load()
+	}
+	return s
+}
+
+// Checkpoint captures an application snapshot and installs it as the
+// log's new recovery base, pruning fully covered segments and older
+// checkpoints. snap runs inside a transaction and must return the
+// snapshot blob plus the highest LSN whose effects it includes (for a
+// store layered on the log, LastAssigned in the same transaction).
+//
+// The checkpoint holds the log lock throughout, so it excludes flushes —
+// and, like a flush, transactions reading durability state wait behind
+// it. Pruning happens only after the checkpoint record is fsynced, so a
+// crash at any point leaves either the old or the new recovery base
+// intact, never neither.
+func (l *Log) Checkpoint(snap func(tx *stm.Tx) (blob []byte, upTo uint64, err error)) (uint64, error) {
+	me := l.rt.NewOwner()
+	l.Lock().AcquireOutside(l.rt, me)
+	defer func() { _ = l.Lock().ReleaseOutside(l.rt, me) }()
+	ctx := core.NewOpCtx(l.rt, me)
+	l.drainAndFlush(ctx) // bound the queue before snapshotting
+
+	var blob []byte
+	var upTo uint64
+	err := ctx.Atomic(func(tx *stm.Tx) error {
+		var err error
+		blob, upTo, err = snap(tx)
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	name := ckptName(upTo)
+	f, err := l.b.Create(name)
+	if err != nil {
+		return 0, fmt.Errorf("wal: create checkpoint: %w", err)
+	}
+	if err := writeFull(f, appendRecord(nil, upTo, blob)); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := f.Fsync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("wal: fsync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+
+	// Prune: only now that the new base is durable. Older checkpoints
+	// first, then segments every record of which is ≤ upTo.
+	names, err := l.b.Names()
+	if err == nil {
+		for _, n := range names {
+			if lsn, ok := parseName(n, ckptPrefix); ok && lsn < upTo {
+				_ = l.b.Remove(n)
+			}
+		}
+	}
+	l.fmu.Lock()
+	kept := l.segs[:0]
+	for i, s := range l.segs {
+		if i+1 < len(l.segs) && l.segs[i+1].start <= upTo+1 {
+			_ = l.b.Remove(s.name)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	l.fmu.Unlock()
+
+	l.rt.Stats().WALCheckpoints.Add(1)
+	return upTo, nil
+}
+
+// Close flushes pending records and closes the current segment. Appends
+// after Close panic the flusher; stop all writers first.
+func (l *Log) Close() error {
+	l.Flush()
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	if l.closed {
+		return errors.New("wal: already closed")
+	}
+	l.closed = true
+	return l.cur.Close()
+}

@@ -24,4 +24,10 @@ go run ./cmd/stmtorture -duration 2s -threads 8 -check -inject -seed 1
 echo "==> stmtorture -check smoke, HTM mode"
 go run ./cmd/stmtorture -duration 2s -threads 8 -mode htm -check -inject -seed 1
 
+echo "==> kv crash-recovery smoke (race detector, fixed seeds)"
+go test -race -count=1 -run 'TestCrashRecovery' ./internal/kv
+
+echo "==> kvbench acceptance (group commit must beat sync fsyncs/commit)"
+go run ./cmd/kvbench -threads 4,8 -ops 100 -latency pagecache -modes sync,group >/dev/null
+
 echo "CI green"
