@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-kv vet torture kvsmoke ci bench
+.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-figs benchdiff
 
 all: build test
 
@@ -35,5 +35,16 @@ kvsmoke:
 ci:
 	./scripts/ci.sh
 
+# STM hot-path benchmark suite (read-only / small-write / contended /
+# kv-group-commit), written to stm-bench.json for later benchdiff runs.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) run ./cmd/stmbench -json stm-bench.json
+
+# Go testing-framework microbenchmarks (figure pipelines etc.).
+bench-figs:
+	$(GO) test -bench=. -benchmem ./...
+
+# Re-run the suite and diff against a saved baseline JSON
+# (BASELINE=path, default stm-bench.json from a previous `make bench`).
+benchdiff:
+	./scripts/benchdiff.sh $(BASELINE)

@@ -1,0 +1,107 @@
+// Command stmbench runs the STM hot-path benchmark suite (read-only,
+// small-write, contended-counter, kv-group-commit) and emits a JSON
+// document that future PRs diff against — the committed BENCH_*.json
+// trajectory files.
+//
+// Usage:
+//
+//	stmbench                         run the suite, print a table
+//	stmbench -json out.json          also write the JSON document
+//	stmbench -baseline old.json      diff against a saved run and emit
+//	                                 a trajectory {baseline, after}
+//	stmbench -validate f.json        only check a document is well formed
+//	stmbench -quick                  CI smoke: milliseconds, no thresholds
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"deferstm/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("stmbench", flag.ExitOnError)
+	var (
+		jsonOut   = fs.String("json", "", "write the result document to this path")
+		baseline  = fs.String("baseline", "", "saved run to diff against; output becomes a {baseline, after} trajectory")
+		validate  = fs.String("validate", "", "validate an existing document and exit (no benchmarks run)")
+		quick     = fs.Bool("quick", false, "CI smoke mode: tiny target times")
+		label     = fs.String("label", "", "label recorded in the document (e.g. pr3-after)")
+		benchtime = fs.Duration("benchtime", 0, "target wall time per workload (default 1s, 25ms with -quick)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *validate != "" {
+		doc, err := bench.LoadStmDoc(*validate)
+		if err == nil {
+			err = bench.ValidateStmDoc(doc)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: %s: invalid: %v\n", *validate, err)
+			return 1
+		}
+		label := doc.Label
+		if label == "" {
+			label = "unlabeled"
+		}
+		fmt.Printf("%s: ok (%d results, %s, commit %s)\n", *validate, len(doc.Results), label, doc.Commit)
+		return 0
+	}
+
+	results := bench.RunStmSuite(bench.StmOptions{
+		Quick:  *quick,
+		Target: *benchtime,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	doc := bench.NewStmDoc(*label, gitCommit(), *quick, results)
+	if err := bench.ValidateStmDoc(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "stmbench: produced an invalid document: %v\n", err)
+		return 1
+	}
+
+	var out any = doc
+	if *baseline != "" {
+		old, err := bench.LoadStmDoc(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: %v\n", err)
+			return 1
+		}
+		fmt.Println()
+		bench.DiffStmDocs(os.Stdout, old, doc)
+		out = &bench.StmTrajectory{Schema: bench.TrajectorySchema, Baseline: old, After: doc}
+	}
+	if *jsonOut != "" {
+		if err := bench.WriteJSON(*jsonOut, out); err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return 0
+}
+
+// gitCommit best-effort resolves the working tree's HEAD for the
+// document metadata; empty when git is unavailable.
+func gitCommit() string {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

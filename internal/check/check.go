@@ -7,7 +7,11 @@
 //     the version clock, form a serial history. Every read of a
 //     committed writer must be of the latest version older than its
 //     commit version; read-only transactions must have read one
-//     consistent snapshot. Commit versions must be unique.
+//     consistent snapshot. Each (var, version) pair has at most one
+//     writer; a commit version may be shared by several writers (TL2's
+//     GV4 "pass on failure" clock hands the CAS loser the winner's
+//     timestamp) only if their write sets are pairwise disjoint and
+//     the read-before constraints among them admit a serial order.
 //  2. Opacity for aborted transactions: even an attempt that aborts
 //     must never have observed an inconsistent snapshot (TL2's
 //     incremental validation guarantees this; the checker verifies it).
@@ -153,15 +157,22 @@ type deferUnit struct {
 
 type varVer struct{ varID, ver uint64 }
 
+// verWriter is one writer inside a commit-version group: the writing
+// transaction (or directWriter) and the vars it wrote at that version.
+type verWriter struct {
+	id   uint64 // txID, or directWriter
+	vars []uint64
+}
+
 type parsed struct {
-	txs       map[uint64]*txInfo
-	order     []*txInfo           // first-seen order
-	writes    map[uint64][]uint64 // varID -> ascending commit versions
-	verOwner  map[uint64]uint64   // commit version -> txID (^0 = direct write)
-	dupVer    []Violation         // duplicate-commit-version findings
-	units     map[uint64]*deferUnit
-	unitOrder []*deferUnit
-	lockEvs   []stm.Event // acquire/release events, in sequence order
+	txs        map[uint64]*txInfo
+	order      []*txInfo               // first-seen order
+	writes     map[uint64][]uint64     // varID -> ascending commit versions
+	writerOf   map[varVer]uint64       // (var, ver) -> writer (^0 = direct write)
+	verWriters map[uint64][]*verWriter // commit version -> its writer group
+	units      map[uint64]*deferUnit
+	unitOrder  []*deferUnit
+	lockEvs    []stm.Event // acquire/release events, in sequence order
 
 	walAppends  map[uint64][]walAppend // log lock var -> committed appends
 	walDurables map[uint64][]walDurable
@@ -175,7 +186,8 @@ func parse(events []stm.Event) *parsed {
 	p := &parsed{
 		txs:         make(map[uint64]*txInfo),
 		writes:      make(map[uint64][]uint64),
-		verOwner:    make(map[uint64]uint64),
+		writerOf:    make(map[varVer]uint64),
+		verWriters:  make(map[uint64][]*verWriter),
 		units:       make(map[uint64]*deferUnit),
 		walAppends:  make(map[uint64][]walAppend),
 		walDurables: make(map[uint64][]walDurable),
@@ -204,16 +216,17 @@ func parse(events []stm.Event) *parsed {
 	noteWrite := func(writer uint64, varID, ver, _ uint64) {
 		p.writes[varID] = append(p.writes[varID], ver)
 		p.writeCount++
-		if prev, ok := p.verOwner[ver]; ok {
-			if prev != writer {
-				p.dupVer = append(p.dupVer, Violation{
-					Rule: RuleSerializability, TxID: writer,
-					Msg: fmt.Sprintf("commit version %d used by two writers (tx %d and tx %d)", ver, prev, writer),
-				})
-			}
-		} else {
-			p.verOwner[ver] = writer
+		if _, ok := p.writerOf[varVer{varID, ver}]; !ok {
+			p.writerOf[varVer{varID, ver}] = writer
 		}
+		g := p.verWriters[ver]
+		for _, w := range g {
+			if w.id == writer {
+				w.vars = append(w.vars, varID)
+				return
+			}
+		}
+		p.verWriters[ver] = append(g, &verWriter{id: writer, vars: []uint64{varID}})
 	}
 
 	for i, ev := range events {
@@ -303,27 +316,150 @@ func maxReadVer(reads []readRec) uint64 {
 // one atomic snapshot: there must exist a clock instant t at which every
 // read value was still current. Such a t exists iff no read has an
 // intervening write between its version and the newest read version.
+//
+// A write at exactly the newest read version needs writer identity:
+// with GV4 timestamp sharing several disjoint writers may commit at
+// `top`, and a co-timestamped writer whose commit this transaction
+// never observed can simply be serialized after it. Only a write at
+// `top` by a writer the transaction DID observe at `top` (it read one
+// of that writer's values) proves the snapshot torn.
 func (p *parsed) snapshotViolations(t *txInfo, rule, what string) []Violation {
 	var out []Violation
 	top := maxReadVer(t.reads)
+	var obs map[uint64]bool // writers observed at version top
 	for _, r := range t.reads {
-		if w, ok := p.writeIn(r.varID, r.ver, top, true); ok {
+		if r.ver != top || top == 0 {
+			continue
+		}
+		if w, ok := p.writerOf[varVer{r.varID, top}]; ok {
+			if obs == nil {
+				obs = make(map[uint64]bool, 4)
+			}
+			obs[w] = true
+		}
+	}
+	for _, r := range t.reads {
+		w, ok := p.writeIn(r.varID, r.ver, top, true)
+		if !ok {
+			continue
+		}
+		if w == top {
+			u, known := p.writerOf[varVer{r.varID, top}]
+			if !known || !obs[u] {
+				continue
+			}
+		}
+		out = append(out, Violation{
+			Rule: rule, TxID: t.id, Seq: r.seq,
+			Msg: fmt.Sprintf("%s: read var %d at version %d alongside a read at version %d, but var %d was overwritten at version %d — no consistent snapshot exists",
+				what, r.varID, r.ver, top, r.varID, w),
+		})
+	}
+	return out
+}
+
+// checkVersionGroups validates commit-timestamp sharing (the TL2 GV4
+// "pass on failure" clock): a version may carry several writers only if
+// (a) no var was written twice at that version — write sets pairwise
+// disjoint — and (b) the read-before constraints among the writers
+// admit a serial order. If T read one of U's written vars at an older
+// version, T must serialize before U; if T read it at exactly the
+// shared version, U must serialize before T; a cycle means no serial
+// order of the co-timestamped writers exists.
+func checkVersionGroups(p *parsed) []Violation {
+	var out []Violation
+	for ver, group := range p.verWriters {
+		if len(group) < 2 {
+			continue
+		}
+		seen := make(map[uint64]uint64, 8) // varID -> writer
+		for _, w := range group {
+			for _, v := range w.vars {
+				if prev, ok := seen[v]; ok {
+					out = append(out, Violation{
+						Rule: RuleSerializability, TxID: w.id,
+						Msg: fmt.Sprintf("commit version %d: var %d written by tx %d and tx %d — writers sharing a timestamp must have disjoint write sets", ver, v, prev, w.id),
+					})
+					continue
+				}
+				seen[v] = w.id
+			}
+		}
+		member := make(map[uint64]bool, len(group))
+		for _, w := range group {
+			member[w.id] = true
+		}
+		edges := make(map[uint64][]uint64) // id -> writers it must precede
+		for _, w := range group {
+			if w.id == directWriter {
+				continue // direct writes have no reads
+			}
+			t := p.txs[w.id]
+			if t == nil {
+				continue
+			}
+			for _, r := range t.reads {
+				u, ok := p.writerOf[varVer{r.varID, ver}]
+				if !ok || u == w.id || !member[u] {
+					continue
+				}
+				if r.ver < ver {
+					edges[w.id] = append(edges[w.id], u) // w read u's var old: w before u
+				} else if r.ver == ver {
+					edges[u] = append(edges[u], w.id) // w observed u's write: u before w
+				}
+			}
+		}
+		if cyc := findCycle(edges); cyc != 0 {
 			out = append(out, Violation{
-				Rule: rule, TxID: t.id, Seq: r.seq,
-				Msg: fmt.Sprintf("%s: read var %d at version %d alongside a read at version %d, but var %d was overwritten at version %d — no consistent snapshot exists",
-					what, r.varID, r.ver, top, r.varID, w),
+				Rule: RuleSerializability, TxID: cyc,
+				Msg: fmt.Sprintf("commit version %d: read-before constraints among its %d co-timestamped writers form a cycle (through tx %d) — no serial order exists", ver, len(group), cyc),
 			})
 		}
 	}
 	return out
 }
 
+// findCycle returns a node on some cycle of the directed graph, or 0.
+func findCycle(edges map[uint64][]uint64) uint64 {
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make(map[uint64]int, len(edges))
+	var visit func(n uint64) uint64
+	visit = func(n uint64) uint64 {
+		color[n] = grey
+		for _, m := range edges[n] {
+			switch color[m] {
+			case grey:
+				return m
+			case white:
+				if c := visit(m); c != 0 {
+					return c
+				}
+			}
+		}
+		color[n] = black
+		return 0
+	}
+	for n := range edges {
+		if color[n] == white {
+			if c := visit(n); c != 0 {
+				return c
+			}
+		}
+	}
+	return 0
+}
+
 func checkSerializability(p *parsed) []Violation {
-	out := append([]Violation(nil), p.dupVer...)
+	out := checkVersionGroups(p)
 	for _, t := range p.order {
 		if !t.committed || t.serial {
 			// Serial transactions run alone with direct reads (none
-			// recorded); their writes participate via verOwner/writes.
+			// recorded); their writes participate via writerOf/writes.
 			continue
 		}
 		if t.nWrites > 0 {

@@ -67,9 +67,26 @@ func TestRejectsNonSerializableCommitOrder(t *testing.T) {
 	wantRule(t, History(h), RuleSerializability)
 }
 
-// Duplicate commit versions also break serializability: the version
-// clock must order all writers totally.
-func TestRejectsDuplicateCommitVersions(t *testing.T) {
+// A shared commit version is only legal when the co-timestamped writers
+// have disjoint write sets: two writers publishing the SAME var at the
+// same version is a lost update no serial order can explain.
+func TestRejectsSharedVersionOverlappingWrites(t *testing.T) {
+	h := []stm.Event{
+		ev(stm.EvBegin, 1, 1, 0, 0, 0),
+		ev(stm.EvWrite, 1, 1, 10, 1, 0),
+		ev(stm.EvCommit, 1, 1, 0, 1, 0),
+		ev(stm.EvBegin, 2, 2, 0, 0, 0),
+		ev(stm.EvWrite, 2, 2, 10, 1, 0),
+		ev(stm.EvCommit, 2, 2, 0, 1, 0),
+	}
+	wantRule(t, History(h), RuleSerializability)
+}
+
+// Disjoint write sets at a shared commit version are exactly what the
+// GV4 "pass on failure" clock produces (the CAS loser adopts the
+// winner's timestamp while both hold their commit locks) and must be
+// accepted.
+func TestAcceptsSharedVersionDisjointWrites(t *testing.T) {
 	h := []stm.Event{
 		ev(stm.EvBegin, 1, 1, 0, 0, 0),
 		ev(stm.EvWrite, 1, 1, 10, 1, 0),
@@ -77,6 +94,79 @@ func TestRejectsDuplicateCommitVersions(t *testing.T) {
 		ev(stm.EvBegin, 2, 2, 0, 0, 0),
 		ev(stm.EvWrite, 2, 2, 11, 1, 0),
 		ev(stm.EvCommit, 2, 2, 0, 1, 0),
+	}
+	if r := History(h); !r.OK() {
+		t.Fatalf("disjoint shared-version commit rejected: %s", r)
+	}
+}
+
+// Disjoint co-timestamped writers whose reads order them against each
+// other both ways: T2 read T3's var old (T2 before T3) and T3 read
+// T2's var old (T3 before T2) — a write skew inside one timestamp that
+// no serial order explains. The per-writer reads-latest rule cannot see
+// it (the conflicting writes are not older than either commit version),
+// so the version-group cycle check must.
+func TestRejectsSharedVersionReadCycle(t *testing.T) {
+	h := []stm.Event{
+		ev(stm.EvBegin, 1, 1, 0, 0, 0),
+		ev(stm.EvWrite, 1, 1, 10, 1, 0),
+		ev(stm.EvWrite, 1, 1, 11, 1, 0),
+		ev(stm.EvCommit, 1, 1, 0, 1, 0),
+		ev(stm.EvBegin, 2, 2, 0, 1, 0),
+		ev(stm.EvRead, 2, 2, 11, 1, 0), // reads T3's var pre-T3
+		ev(stm.EvWrite, 2, 2, 10, 2, 0),
+		ev(stm.EvCommit, 2, 2, 0, 2, 0),
+		ev(stm.EvBegin, 3, 3, 0, 1, 0),
+		ev(stm.EvRead, 3, 3, 10, 1, 0), // reads T2's var pre-T2
+		ev(stm.EvWrite, 3, 3, 11, 2, 0),
+		ev(stm.EvCommit, 3, 3, 0, 2, 0),
+	}
+	wantRule(t, History(h), RuleSerializability)
+}
+
+// A read-only transaction straddling a shared version: it observed one
+// co-timestamped writer's value and the OTHER writer's var at the older
+// version. Legal — serialize the unobserved writer after the reader
+// (order: T2, T4, T3).
+func TestAcceptsReaderStraddlingSharedVersion(t *testing.T) {
+	h := []stm.Event{
+		ev(stm.EvBegin, 1, 1, 0, 0, 0),
+		ev(stm.EvWrite, 1, 1, 10, 1, 0),
+		ev(stm.EvWrite, 1, 1, 11, 1, 0),
+		ev(stm.EvCommit, 1, 1, 0, 1, 0),
+		ev(stm.EvBegin, 2, 2, 0, 1, 0),
+		ev(stm.EvWrite, 2, 2, 10, 2, 0),
+		ev(stm.EvCommit, 2, 2, 0, 2, 0),
+		ev(stm.EvBegin, 3, 3, 0, 1, 0),
+		ev(stm.EvWrite, 3, 3, 11, 2, 0),
+		ev(stm.EvCommit, 3, 3, 0, 2, 0),
+		ev(stm.EvBegin, 4, 4, 0, 2, 0),
+		ev(stm.EvRead, 4, 4, 10, 2, 0), // T2's write: observed
+		ev(stm.EvRead, 4, 4, 11, 1, 0), // T3's var, still old: fine
+		ev(stm.EvCommit, 4, 4, 0, 0, 0),
+	}
+	if r := History(h); !r.OK() {
+		t.Fatalf("reader straddling a shared version rejected: %s", r)
+	}
+}
+
+// The same reader is torn if the old-version var belongs to the SAME
+// writer it observed at the shared version: it saw part of that
+// writer's commit and missed the rest.
+func TestRejectsReaderTornAcrossOneWriter(t *testing.T) {
+	h := []stm.Event{
+		ev(stm.EvBegin, 1, 1, 0, 0, 0),
+		ev(stm.EvWrite, 1, 1, 10, 1, 0),
+		ev(stm.EvWrite, 1, 1, 11, 1, 0),
+		ev(stm.EvCommit, 1, 1, 0, 1, 0),
+		ev(stm.EvBegin, 2, 2, 0, 1, 0),
+		ev(stm.EvWrite, 2, 2, 10, 2, 0),
+		ev(stm.EvWrite, 2, 2, 11, 2, 0),
+		ev(stm.EvCommit, 2, 2, 0, 2, 0),
+		ev(stm.EvBegin, 4, 4, 0, 2, 0),
+		ev(stm.EvRead, 4, 4, 10, 2, 0), // T2's write: observed
+		ev(stm.EvRead, 4, 4, 11, 1, 0), // T2 overwrote this too: torn
+		ev(stm.EvCommit, 4, 4, 0, 0, 0),
 	}
 	wantRule(t, History(h), RuleSerializability)
 }

@@ -238,11 +238,14 @@ func (tx *Tx) commitWriteBack() (uint64, bool) {
 		acquired++
 	}
 
-	wv := tx.rt.clock.Add(1)
+	wv, own := tx.rt.nextWriteVersion()
 
-	// TL2 fast path: if nothing committed between our begin and our
-	// clock increment, the read set cannot have changed.
-	if wv != tx.rv+1 && !tx.validateReads() {
+	// TL2 fast path: if we won the clock increment ourselves and
+	// nothing committed between our begin and that increment, the
+	// read set cannot have changed. An adopted timestamp (GV4) means
+	// a concurrent writer committed while we held our locks, so the
+	// read set must always be revalidated.
+	if (!own || wv != tx.rv+1) && !tx.validateReads() {
 		tx.releaseLocks(acquired, 0)
 		return 0, false
 	}

@@ -1,0 +1,218 @@
+package stm
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// allocSink defeats dead-code elimination in the allocation tests.
+var allocSink int
+
+// TestSlotHintWrapAround drives the slot-hint counter across the uint64
+// wrap boundary. Before the reduce-then-convert fix in acquireSlot,
+// int(hint) went negative past 1<<63 and the scan indexed
+// rt.slots[negative], faulting every transaction begin from then on.
+func TestSlotHintWrapAround(t *testing.T) {
+	rt := New(Config{MaxThreads: 3}) // odd size: modulo sign matters
+	rt.slotHint.Store(^uint64(0) - 4)
+	v := NewVar(0)
+	for i := 0; i < 16; i++ {
+		if err := rt.Atomic(func(tx *Tx) error {
+			v.Set(tx, v.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("atomic %d across hint wrap: %v", i, err)
+		}
+	}
+	if got := v.Load(); got != 16 {
+		t.Fatalf("committed %d increments, want 16", got)
+	}
+	if rt.slotHint.Load() >= ^uint64(0)-16 {
+		t.Fatalf("hint did not wrap: %d", rt.slotHint.Load())
+	}
+}
+
+// TestReadOnlyAtomicAllocFree pins the read-only hot path at zero heap
+// allocations per transaction: descriptor from the pool, read set in
+// retained slice capacity, striped stats, no commit-time work.
+func TestReadOnlyAtomicAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; bound holds only unraced")
+	}
+	rt := NewDefault()
+	var vars [8]*Var[int]
+	for i := range vars {
+		vars[i] = NewVar(i)
+	}
+	body := func(tx *Tx) error {
+		s := 0
+		for _, v := range vars {
+			s += v.Get(tx)
+		}
+		allocSink = s
+		return nil
+	}
+	for i := 0; i < 32; i++ { // warm the descriptor pool and slice capacity
+		if err := rt.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := rt.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("read-only Atomic allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestSmallWriteAtomicAllocBound pins the small-write hot path at its
+// documented bound: one boxed value per Set and nothing else — no write
+// map, no sort.Slice closure/interface conversion, no stats shards.
+func TestSmallWriteAtomicAllocBound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; bound holds only unraced")
+	}
+	rt := NewDefault()
+	a, b := NewVar(0), NewVar(0)
+	body := func(tx *Tx) error {
+		x, y := a.Get(tx), b.Get(tx)
+		a.Set(tx, y+1)
+		b.Set(tx, x+1)
+		return nil
+	}
+	for i := 0; i < 32; i++ {
+		if err := rt.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const boundPerSet = 1 // the *T box Set buffers; see Var.Set
+	if n := testing.AllocsPerRun(200, func() {
+		if err := rt.Atomic(body); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2*boundPerSet {
+		t.Fatalf("2-write Atomic allocates %.1f objects/op, want <= %d", n, 2*boundPerSet)
+	}
+}
+
+// TestWriteSetSpillLookup exercises the map spill past smallWriteSet:
+// read-after-write and write-after-write must resolve through the
+// overflow map exactly as they do through the linear scan.
+func TestWriteSetSpillLookup(t *testing.T) {
+	rt := NewDefault()
+	n := 3*smallWriteSet + 1
+	vars := make([]*Var[int], n)
+	for i := range vars {
+		vars[i] = NewVar(0)
+	}
+	if err := rt.Atomic(func(tx *Tx) error {
+		for i, v := range vars {
+			v.Set(tx, i)
+		}
+		for i, v := range vars { // read-after-write across the spill
+			if got := v.Get(tx); got != i {
+				t.Errorf("var %d: read %d after write", i, got)
+			}
+		}
+		for i, v := range vars { // overwrite resolves to the same entry
+			v.Set(tx, i*10)
+		}
+		if tx.wmap == nil {
+			t.Error("write set did not spill to map")
+		}
+		if len(tx.writes) != n {
+			t.Errorf("write set has %d entries, want %d (overwrites must merge)", len(tx.writes), n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vars {
+		if got := v.Load(); got != i*10 {
+			t.Fatalf("var %d committed as %d, want %d", i, got, i*10)
+		}
+	}
+}
+
+// recorderFunc adapts a function to the Recorder interface.
+type recorderFunc func(Event)
+
+func (f recorderFunc) Record(ev Event) { f(ev) }
+
+// TestDescriptorHygieneAfterUserAbort aborts a transaction that dirtied
+// every pooled descriptor field — spilled write map, post-commit hooks,
+// free list, recorded events — and verifies reset scrubbed them all
+// before the descriptor went back to the pool. Stale state here shows
+// up as cross-transaction corruption only under load, so it is pinned
+// white-box.
+func TestDescriptorHygieneAfterUserAbort(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	rt := New(Config{Recorder: recorderFunc(func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})})
+	vars := make([]*Var[int], 2*smallWriteSet)
+	for i := range vars {
+		vars[i] = NewVar(0)
+	}
+	errAbort := errors.New("user abort")
+	var captured *Tx
+	err := rt.Atomic(func(tx *Tx) error {
+		captured = tx
+		for i, v := range vars {
+			allocSink = v.Get(tx)
+			v.Set(tx, i)
+		}
+		tx.AfterCommit(func() { t.Error("hook ran for an aborted transaction") })
+		tx.QueueFree(func() { t.Error("free ran for an aborted transaction") })
+		if tx.wmap == nil {
+			t.Error("write set should have spilled before the abort")
+		}
+		return errAbort
+	})
+	if !errors.Is(err, errAbort) {
+		t.Fatalf("Atomic returned %v, want the user abort", err)
+	}
+	// The descriptor was reset before being pooled; captured still points
+	// at it (nothing else runs transactions here, so it is not reused).
+	switch {
+	case captured.active:
+		t.Error("descriptor still active")
+	case len(captured.reads) != 0:
+		t.Errorf("%d stale reads", len(captured.reads))
+	case len(captured.writes) != 0:
+		t.Errorf("%d stale writes", len(captured.writes))
+	case captured.wmap != nil:
+		t.Error("stale write map (fast path not restored)")
+	case captured.hooks != nil:
+		t.Error("stale post-commit hooks")
+	case captured.frees != nil:
+		t.Error("stale free list")
+	case len(captured.pendEvs) != 0:
+		t.Errorf("%d stale pending events", len(captured.pendEvs))
+	}
+	// Pending events must have been discarded, not flushed: no write or
+	// commit events for the aborted attempt.
+	mu.Lock()
+	for _, ev := range events {
+		if ev.Kind == EvWrite || ev.Kind == EvCommit {
+			mu.Unlock()
+			t.Fatalf("aborted attempt leaked %v into the history", ev.Kind)
+		}
+	}
+	mu.Unlock()
+	// And the pooled descriptor must behave like a fresh one.
+	if err := rt.Atomic(func(tx *Tx) error {
+		vars[0].Set(tx, 99)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := vars[0].Load(); got != 99 {
+		t.Fatalf("post-abort commit stored %d, want 99", got)
+	}
+}

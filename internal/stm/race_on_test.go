@@ -1,0 +1,9 @@
+//go:build race
+
+package stm
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-regression tests skip under it: race
+// instrumentation inserts its own heap allocations, so AllocsPerRun
+// bounds measured without it do not hold.
+const raceEnabled = true

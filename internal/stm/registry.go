@@ -28,7 +28,10 @@ func (s *slot) isActive() bool { return s.word.Load()&1 == 1 }
 // returns the slot index.
 func (rt *Runtime) acquireSlot(rv uint64) int {
 	n := len(rt.slots)
-	start := int(rt.slotHint.Add(1)) % n
+	// Reduce the uint64 hint before converting: int(hint) is negative
+	// once the counter wraps past int64, and a negative start index
+	// would fault the slot scan below.
+	start := int(rt.slotHint.Add(1) % uint64(n))
 	spins := 0
 	for {
 		if rt.serialWant.Load() != 0 {
@@ -81,16 +84,55 @@ func (rt *Runtime) quiesce(wv uint64, selfIdx int) {
 	if rt.inj.stallQuiesce() {
 		rt.stats.InjectedFaults.Add(1)
 	}
-	start := time.Now()
+	// Snapshot pass: collect the slots that were running a pre-wv
+	// transaction at entry. Slots that activate later sample a read
+	// version from the already-advanced clock, so only this snapshot
+	// can ever block us — the wait loop below re-polls the shrinking
+	// snapshot instead of rescanning the whole slot array each spin.
+	// The fast path (nothing active) is one scan with no timestamp
+	// reads at all.
+	var buf [quiesceSnapshotCap]int32
+	pending := buf[:0]
 	waited := false
+	var start time.Time
 	for i := range rt.slots {
 		if i == selfIdx {
 			continue
 		}
 		s := &rt.slots[i]
+		if !s.activeBefore(wv) {
+			continue
+		}
+		if len(pending) < cap(pending) {
+			pending = append(pending, int32(i))
+			continue
+		}
+		// Snapshot buffer exhausted (registry far larger than the
+		// stack buffer, all busy): wait this slot out in place.
+		if !waited {
+			waited = true
+			start = time.Now()
+		}
 		spins := 0
 		for s.activeBefore(wv) {
-			waited = true
+			waitSpin(&spins)
+		}
+	}
+	if len(pending) > 0 && !waited {
+		waited = true
+		start = time.Now()
+	}
+	spins := 0
+	for len(pending) > 0 {
+		k := 0
+		for _, idx := range pending {
+			if rt.slots[idx].activeBefore(wv) {
+				pending[k] = idx
+				k++
+			}
+		}
+		pending = pending[:k]
+		if k > 0 {
 			waitSpin(&spins)
 		}
 	}
@@ -99,6 +141,11 @@ func (rt *Runtime) quiesce(wv uint64, selfIdx int) {
 		rt.stats.QuiesceNanos.Add(uint64(time.Since(start).Nanoseconds()))
 	}
 }
+
+// quiesceSnapshotCap bounds the stack-allocated active-slot snapshot
+// in quiesce; registries with more simultaneously active pre-commit
+// transactions fall back to in-place waiting for the overflow.
+const quiesceSnapshotCap = 128
 
 // waitSpin implements a progressive wait: spin briefly, then yield, then
 // sleep. Used for quiescence, serial draining, and slot acquisition.

@@ -2,36 +2,166 @@ package stm
 
 import (
 	"fmt"
+	"runtime"
 	"sync/atomic"
+	"unsafe"
 )
 
-// Stats holds the runtime's monotonic event counters. All fields are
+// The runtime's monotonic event counters are striped: every logical
+// counter is spread over a power-of-two number of cache-line-padded
+// shards, and an increment touches only the calling goroutine's shard.
+// Before striping, every transaction bumped Starts/Commits/abort
+// counters in one shared block of atomic words, so committers on
+// different CPUs invalidated each other's counter lines on every
+// transaction — pure bookkeeping true-sharing on the hottest path.
+// Reads (Snapshot, Counter.Load) sum all shards, so counter values
+// stay exact; only the memory location of each increment changed.
+//
+// Counter indices into a shard. Keep this list, the counterSlots
+// wiring in Stats.init, and StatsSnapshot in sync.
+const (
+	cStarts = iota
+	cCommits
+	cUserAborts
+	cAbortsConflict
+	cAbortsCapacity
+	cAbortsSyscall
+	cRetries
+	cExtensions
+	cSerializations
+	cSerialRuns
+	cQuiesceWaits
+	cQuiesceNanos
+	cDeferredOps
+	cDeferredFrees
+	cInjectedFaults
+	cWALRecords
+	cWALFlushes
+	cWALCheckpoints
+	nStatCounters
+)
+
+// statShard holds one stripe of every counter. Shards are padded to a
+// 64-byte multiple so two shards never share a cache line; counters
+// within one shard may share lines, but one shard is (statistically)
+// written by one goroutine.
+type statShard struct {
+	c [nStatCounters]atomic.Uint64
+	_ [(64 - (nStatCounters*8)%64) % 64]byte
+}
+
+// Counter is one striped runtime counter. It keeps the incrementing
+// API the unpadded atomic fields had (`rt.Stats().Commits.Add(1)`),
+// so cooperating packages (core, mempool, wal) did not change. The
+// zero Counter is invalid; counters live inside a Runtime's Stats.
+type Counter struct {
+	s *Stats
+	i uint32
+}
+
+// Add increments the counter by n on the calling goroutine's stripe.
+func (c Counter) Add(n uint64) {
+	s := c.s
+	s.shards[stripeIdx()&s.mask].c[c.i].Add(n)
+}
+
+// Load returns the counter's exact current value (the sum over all
+// stripes).
+func (c Counter) Load() uint64 {
+	s := c.s
+	var t uint64
+	for i := range s.shards {
+		t += s.shards[i].c[c.i].Load()
+	}
+	return t
+}
+
+// stripeIdx derives a goroutine-affine stripe hint from the address of
+// a stack variable: distinct goroutines run on distinct stacks, so the
+// mixed address separates concurrent committers without runtime
+// support (no procPin, no goroutine IDs). The value is stable within a
+// call frame and merely *tends* to differ across goroutines — any
+// distribution is correct, only contention varies.
+func stripeIdx() uint32 {
+	var b byte
+	p := uintptr(unsafe.Pointer(&b))
+	return uint32((uint64(p) * 0x9e3779b97f4a7c15) >> 33)
+}
+
+// Stats holds the runtime's monotonic event counters. All counters are
 // updated atomically; Snapshot produces a consistent-enough copy for
-// reporting (individual counters are exact; cross-counter skew is bounded
-// by in-flight transactions).
+// reporting (individual counters are exact; cross-counter skew is
+// bounded by in-flight transactions).
 type Stats struct {
-	Starts         atomic.Uint64 // transaction attempts begun
-	Commits        atomic.Uint64 // top-level commits (incl. serial)
-	UserAborts     atomic.Uint64 // fn returned a non-nil error
-	AbortsConflict atomic.Uint64 // validation / lock-acquire conflicts
-	AbortsCapacity atomic.Uint64 // simulated HTM footprint overflow
-	AbortsSyscall  atomic.Uint64 // irrevocability requested under HTM
-	Retries        atomic.Uint64 // explicit Retry calls (condition sync)
-	Extensions     atomic.Uint64 // successful read-version extensions
-	Serializations atomic.Uint64 // escalations to serial mode
-	SerialRuns     atomic.Uint64 // serial-mode executions (incl. AtomicSerial)
-	QuiesceWaits   atomic.Uint64 // quiesce calls that actually waited
-	QuiesceNanos   atomic.Uint64 // total nanoseconds spent waiting in quiesce
-	DeferredOps    atomic.Uint64 // AfterCommit hooks executed (set by core)
-	DeferredFrees  atomic.Uint64 // QueueFree actions executed (set by mempool)
-	InjectedFaults atomic.Uint64 // faults fired by Config.Inject
+	shards []statShard
+	mask   uint32
+
+	Starts         Counter // transaction attempts begun
+	Commits        Counter // top-level commits (incl. serial)
+	UserAborts     Counter // fn returned a non-nil error
+	AbortsConflict Counter // validation / lock-acquire conflicts
+	AbortsCapacity Counter // simulated HTM footprint overflow
+	AbortsSyscall  Counter // irrevocability requested under HTM
+	Retries        Counter // explicit Retry calls (condition sync)
+	Extensions     Counter // successful read-version extensions
+	Serializations Counter // escalations to serial mode
+	SerialRuns     Counter // serial-mode executions (incl. AtomicSerial)
+	QuiesceWaits   Counter // quiesce calls that actually waited
+	QuiesceNanos   Counter // total nanoseconds spent waiting in quiesce
+	DeferredOps    Counter // AfterCommit hooks executed (set by core)
+	DeferredFrees  Counter // QueueFree actions executed (set by mempool)
+	InjectedFaults Counter // faults fired by Config.Inject
 
 	// WAL counters, incremented by package wal. A "flush" is one drain
 	// of the log's batch queue followed by one fsync; WALRecords /
-	// WALFlushes is therefore the mean group-commit batch size.
-	WALRecords     atomic.Uint64 // records appended to log segments
-	WALFlushes     atomic.Uint64 // batch flushes (one fsync each)
-	WALCheckpoints atomic.Uint64 // checkpoints written
+	// WALFlushes is therefore the mean group-commit batch size. The
+	// striping preserves exactness (Load sums every stripe), so the
+	// group-commit batch-size arithmetic in cmd/kvbench is unchanged.
+	WALRecords     Counter // records appended to log segments
+	WALFlushes     Counter // batch flushes (one fsync each)
+	WALCheckpoints Counter // checkpoints written
+}
+
+// init sizes the stripe array and wires every Counter field to its
+// slot. Called once from New, before the Runtime is shared.
+func (s *Stats) init() {
+	stripes := 2 * runtime.GOMAXPROCS(0)
+	if stripes < 4 {
+		stripes = 4
+	}
+	if stripes > 64 {
+		stripes = 64
+	}
+	// Round up to a power of two for mask indexing.
+	p := 1
+	for p < stripes {
+		p <<= 1
+	}
+	s.shards = make([]statShard, p)
+	s.mask = uint32(p - 1)
+	counterSlots := [nStatCounters]*Counter{
+		cStarts:         &s.Starts,
+		cCommits:        &s.Commits,
+		cUserAborts:     &s.UserAborts,
+		cAbortsConflict: &s.AbortsConflict,
+		cAbortsCapacity: &s.AbortsCapacity,
+		cAbortsSyscall:  &s.AbortsSyscall,
+		cRetries:        &s.Retries,
+		cExtensions:     &s.Extensions,
+		cSerializations: &s.Serializations,
+		cSerialRuns:     &s.SerialRuns,
+		cQuiesceWaits:   &s.QuiesceWaits,
+		cQuiesceNanos:   &s.QuiesceNanos,
+		cDeferredOps:    &s.DeferredOps,
+		cDeferredFrees:  &s.DeferredFrees,
+		cInjectedFaults: &s.InjectedFaults,
+		cWALRecords:     &s.WALRecords,
+		cWALFlushes:     &s.WALFlushes,
+		cWALCheckpoints: &s.WALCheckpoints,
+	}
+	for i, c := range counterSlots {
+		*c = Counter{s: s, i: uint32(i)}
+	}
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -60,28 +190,36 @@ type StatsSnapshot struct {
 // cooperating packages such as core and mempool).
 func (rt *Runtime) Stats() *Stats { return &rt.stats }
 
-// Snapshot copies the current counter values.
+// Snapshot copies the current counter values, summing every stripe in
+// one pass over the shard array.
 func (rt *Runtime) Snapshot() StatsSnapshot {
 	s := &rt.stats
+	var t [nStatCounters]uint64
+	for i := range s.shards {
+		sh := &s.shards[i]
+		for j := 0; j < nStatCounters; j++ {
+			t[j] += sh.c[j].Load()
+		}
+	}
 	return StatsSnapshot{
-		Starts:         s.Starts.Load(),
-		Commits:        s.Commits.Load(),
-		UserAborts:     s.UserAborts.Load(),
-		AbortsConflict: s.AbortsConflict.Load(),
-		AbortsCapacity: s.AbortsCapacity.Load(),
-		AbortsSyscall:  s.AbortsSyscall.Load(),
-		Retries:        s.Retries.Load(),
-		Extensions:     s.Extensions.Load(),
-		Serializations: s.Serializations.Load(),
-		SerialRuns:     s.SerialRuns.Load(),
-		QuiesceWaits:   s.QuiesceWaits.Load(),
-		QuiesceNanos:   s.QuiesceNanos.Load(),
-		DeferredOps:    s.DeferredOps.Load(),
-		DeferredFrees:  s.DeferredFrees.Load(),
-		InjectedFaults: s.InjectedFaults.Load(),
-		WALRecords:     s.WALRecords.Load(),
-		WALFlushes:     s.WALFlushes.Load(),
-		WALCheckpoints: s.WALCheckpoints.Load(),
+		Starts:         t[cStarts],
+		Commits:        t[cCommits],
+		UserAborts:     t[cUserAborts],
+		AbortsConflict: t[cAbortsConflict],
+		AbortsCapacity: t[cAbortsCapacity],
+		AbortsSyscall:  t[cAbortsSyscall],
+		Retries:        t[cRetries],
+		Extensions:     t[cExtensions],
+		Serializations: t[cSerializations],
+		SerialRuns:     t[cSerialRuns],
+		QuiesceWaits:   t[cQuiesceWaits],
+		QuiesceNanos:   t[cQuiesceNanos],
+		DeferredOps:    t[cDeferredOps],
+		DeferredFrees:  t[cDeferredFrees],
+		InjectedFaults: t[cInjectedFaults],
+		WALRecords:     t[cWALRecords],
+		WALFlushes:     t[cWALFlushes],
+		WALCheckpoints: t[cWALCheckpoints],
 	}
 }
 

@@ -205,6 +205,7 @@ func New(cfg Config) *Runtime {
 		slots: make([]slot, cfg.MaxThreads),
 		rec:   cfg.Recorder,
 	}
+	rt.stats.init()
 	if cfg.Inject != nil {
 		rt.inj = newInjector(*cfg.Inject)
 	}
@@ -237,6 +238,33 @@ func (rt *Runtime) NewOwner() OwnerID {
 // GlobalClock returns the current value of the global version clock.
 // It is exported for tests and diagnostics.
 func (rt *Runtime) GlobalClock() uint64 { return rt.clock.Load() }
+
+// nextWriteVersion draws a commit timestamp for a writing transaction
+// that holds its commit locks — TL2's GV4 ("pass on failure") clock:
+// one CAS attempt, and on failure the committer adopts the value the
+// winning committer just installed instead of re-fighting for the
+// line. Under K concurrent committers the clock line takes one
+// successful RMW instead of K serialized ones, and the clock advances
+// more slowly, so concurrent readers extend/validate less often.
+//
+// Sharing a timestamp is safe because both committers held their
+// commit locks across the same instant (the winner's increment falls
+// between the adopter's load and its reload), so their write sets are
+// necessarily disjoint, and any transaction that could observe the
+// difference aborts on validation. The second return value reports
+// whether the caller won the increment itself: only then may it use
+// the TL2 "nothing committed since begin" validation fast path —
+// an adopted timestamp *means* another writer committed concurrently.
+func (rt *Runtime) nextWriteVersion() (uint64, bool) {
+	cur := rt.clock.Load()
+	if rt.clock.CompareAndSwap(cur, cur+1) {
+		return cur + 1, true
+	}
+	// The CAS failed, so the clock moved past cur after our load; the
+	// reload is the (monotonic) value some concurrent winner installed
+	// while we held our locks. Adopt it.
+	return rt.clock.Load(), false
+}
 
 // notifyCommit wakes any transactions blocked in retry-wait. It is called
 // after a writer commit has published its updates. The swap-and-close

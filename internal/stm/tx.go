@@ -53,6 +53,14 @@ type writeEntry struct {
 	prevW   uint64
 }
 
+// smallWriteSet is the write-set size up to which read-after-write
+// lookups use an inline linear scan over tx.writes instead of a map.
+// Typical transactions write a handful of vars; for those the scan is
+// both faster than hashing and allocation-free. Past this bound a map
+// is built lazily (and its storage cached on the descriptor, so even
+// repeated large transactions allocate it once).
+const smallWriteSet = 8
+
 // Tx is a transaction descriptor. A Tx is only valid inside the closure
 // passed to Atomic and must not be retained or used from other goroutines.
 type Tx struct {
@@ -61,7 +69,12 @@ type Tx struct {
 	rv     uint64 // read version (TL2 snapshot timestamp)
 	reads  []readEntry
 	writes []writeEntry
-	wmap   map[*varMeta]int
+	// wmap indexes writes by var once the write set outgrows
+	// smallWriteSet; nil while the linear-scan fast path is in use.
+	// wmapCache keeps the (cleared) map across transactions so the
+	// overflow path allocates at most once per descriptor.
+	wmap      map[*varMeta]int
+	wmapCache map[*varMeta]int
 
 	active bool
 	serial bool
@@ -90,7 +103,6 @@ type Tx struct {
 func newTx(rt *Runtime) *Tx {
 	return &Tx{
 		rt:      rt,
-		wmap:    make(map[*varMeta]int, 16),
 		slotIdx: -1,
 		rng:     0x9e3779b97f4a7c15,
 	}
@@ -145,11 +157,47 @@ func (tx *Tx) recordReadSlow(m *varMeta, word uint64) {
 
 func (tx *Tx) recordWrite(v txVar, m *varMeta, pending any) {
 	tx.writes = append(tx.writes, writeEntry{v: v, m: m, pending: pending})
-	tx.wmap[m] = len(tx.writes) - 1
+	if tx.wmap != nil {
+		tx.wmap[m] = len(tx.writes) - 1
+	} else if len(tx.writes) > smallWriteSet {
+		tx.spillWrites()
+	}
 	if tx.htm {
 		tx.htmWriteLines++
 		tx.checkCapacity()
 	}
+}
+
+// findWrite returns the index of m's entry in tx.writes, or -1. Small
+// write sets scan the slice backward (recent writes are re-read most
+// often); large ones use the overflow map built by spillWrites.
+func (tx *Tx) findWrite(m *varMeta) int {
+	if tx.wmap != nil {
+		if i, ok := tx.wmap[m]; ok {
+			return i
+		}
+		return -1
+	}
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].m == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// spillWrites switches the write set from linear scan to map lookup,
+// reusing the descriptor's cached map when one exists.
+func (tx *Tx) spillWrites() {
+	m := tx.wmapCache
+	if m == nil {
+		m = make(map[*varMeta]int, 4*smallWriteSet)
+		tx.wmapCache = m
+	}
+	for i := range tx.writes {
+		m[tx.writes[i].m] = i
+	}
+	tx.wmap = m
 }
 
 // HTMTouch models non-transactional memory touched inside a hardware
@@ -297,22 +345,34 @@ func (tx *Tx) validateReads() bool {
 
 // sortWrites orders the write set by var ID so that commit-time lock
 // acquisition is globally ordered (deadlock- and livelock-free against
-// other committers).
+// other committers). Small sets use insertion sort — allocation-free,
+// unlike sort.Slice, whose interface conversion and closure cost two
+// heap allocations per writing commit. Lookups never happen after
+// sorting (the user closure has returned), so wmap is left stale; it
+// is discarded by reset.
 func (tx *Tx) sortWrites() {
-	sort.Slice(tx.writes, func(i, j int) bool {
-		return tx.writes[i].m.id < tx.writes[j].m.id
-	})
-	for i := range tx.writes {
-		tx.wmap[tx.writes[i].m] = i
+	w := tx.writes
+	if len(w) <= 32 {
+		for i := 1; i < len(w); i++ {
+			for j := i; j > 0 && w[j].m.id < w[j-1].m.id; j-- {
+				w[j], w[j-1] = w[j-1], w[j]
+			}
+		}
+		return
 	}
+	sort.Slice(w, func(i, j int) bool {
+		return w[i].m.id < w[j].m.id
+	})
 }
 
 // reset prepares the descriptor for another attempt or for reuse.
 func (tx *Tx) reset() {
 	tx.reads = tx.reads[:0]
+	clear(tx.writes) // drop pending-value boxes so the GC can reclaim them
 	tx.writes = tx.writes[:0]
-	if len(tx.wmap) > 0 {
+	if tx.wmap != nil {
 		clear(tx.wmap)
+		tx.wmap = nil // back to the linear-scan fast path
 	}
 	tx.hooks = nil // moved out or discarded; never reused across attempts
 	tx.frees = nil

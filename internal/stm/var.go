@@ -92,8 +92,10 @@ func (v *Var[T]) Init(x T) { v.val.Store(&x) }
 // re-executes.
 func (v *Var[T]) Get(tx *Tx) T {
 	tx.mustBeActive()
-	if idx, ok := tx.wmap[&v.m]; ok {
-		return *(tx.writes[idx].pending.(*T))
+	if len(tx.writes) != 0 {
+		if idx := tx.findWrite(&v.m); idx >= 0 {
+			return *(tx.writes[idx].pending.(*T))
+		}
 	}
 	if tx.serial {
 		// Serial transactions run alone; direct read.
@@ -145,9 +147,11 @@ func deref[T any](p *T) T {
 // visible to other transactions only if tx commits.
 func (v *Var[T]) Set(tx *Tx, x T) {
 	tx.mustBeActive()
-	if idx, ok := tx.wmap[&v.m]; ok {
-		tx.writes[idx].pending = &x
-		return
+	if len(tx.writes) != 0 {
+		if idx := tx.findWrite(&v.m); idx >= 0 {
+			tx.writes[idx].pending = &x
+			return
+		}
 	}
 	v.ensureID()
 	tx.recordWrite(v, &v.m, &x)

@@ -1,0 +1,25 @@
+#!/bin/sh
+# benchdiff.sh [baseline.json] [out.json]
+#
+# Re-runs the STM hot-path benchmark suite and prints a per-workload
+# delta table against a saved baseline produced by `make bench` (or any
+# `stmbench -json` run). The combined before/after trajectory is written
+# to out.json (default: stm-benchdiff.json) so a regression can be
+# committed alongside the change that introduced — or fixed — it.
+#
+# Exit status is stmbench's: non-zero only on harness failure, never on
+# a slowdown. Timing thresholds are a human decision, not a CI gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="${1:-stm-bench.json}"
+out="${2:-stm-benchdiff.json}"
+
+if [ ! -f "$baseline" ]; then
+    echo "benchdiff: baseline '$baseline' not found; run 'make bench' first" >&2
+    exit 2
+fi
+
+go run ./cmd/stmbench -baseline "$baseline" -json "$out" -label benchdiff
+echo "trajectory written to $out"

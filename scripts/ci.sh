@@ -30,4 +30,13 @@ go test -race -count=1 -run 'TestCrashRecovery' ./internal/kv
 echo "==> kvbench acceptance (group commit must beat sync fsyncs/commit)"
 go run ./cmd/kvbench -threads 4,8 -ops 100 -latency pagecache -modes sync,group >/dev/null
 
+# Benchmark harness smoke: the suite must run and emit well-formed JSON.
+# Deliberately no timing assertions — CI machines are too noisy for
+# thresholds; regressions are judged by humans via scripts/benchdiff.sh.
+echo "==> stmbench harness smoke (quick run + JSON validation)"
+tmpjson="$(mktemp)"
+trap 'rm -f "$tmpjson"' EXIT
+go run ./cmd/stmbench -quick -json "$tmpjson" >/dev/null
+go run ./cmd/stmbench -validate "$tmpjson"
+
 echo "CI green"
