@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-figs benchdiff
+.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-scaling bench-figs benchdiff
 
 all: build test
 
@@ -40,11 +40,17 @@ ci:
 bench:
 	$(GO) run ./cmd/stmbench -json stm-bench.json
 
+# Thread-scaling suite (map-read / map-write / resize-storm across the
+# 1..NumCPU ladder), written to stm-bench-scaling.json.
+bench-scaling:
+	$(GO) run ./cmd/stmbench -suite scaling -json stm-bench-scaling.json
+
 # Go testing-framework microbenchmarks (figure pipelines etc.).
 bench-figs:
 	$(GO) test -bench=. -benchmem ./...
 
-# Re-run the suite and diff against a saved baseline JSON
-# (BASELINE=path, default stm-bench.json from a previous `make bench`).
+# Re-run a suite and diff against a saved baseline JSON
+# (BASELINE=path, default stm-bench.json from a previous `make bench`;
+# SUITE=hot|scaling|all selects which workloads re-run).
 benchdiff:
-	./scripts/benchdiff.sh $(BASELINE)
+	SUITE=$(SUITE) ./scripts/benchdiff.sh $(BASELINE)

@@ -62,6 +62,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		value   = fs.Int("value", 64, "value bytes")
 		latency = fs.String("latency", "pagecache", "simulated I/O cost: none|pagecache|slowdisk")
 		modes   = fs.String("modes", "none,sync,group", "modes to run")
+		buckets = fs.Int("buckets", 0, "store hash buckets (0 = kv default); small values force resizes")
 		csv     = fs.Bool("csv", false, "emit CSV instead of a text table")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -102,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var results []result
 	for _, mode := range modeList {
 		for _, t := range threadCounts {
-			r, err := benchOne(mode, t, *ops, *keys, *value, lat)
+			r, err := benchOne(mode, t, *ops, *keys, *value, *buckets, lat)
 			if err != nil {
 				fmt.Fprintf(stderr, "kvbench: %v@%d: %v\n", mode, t, err)
 				return 1
@@ -172,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func benchOne(mode kv.Mode, threads, ops, keys, valueBytes int, lat simio.Latency) (result, error) {
+func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat simio.Latency) (result, error) {
 	fs := simio.NewFS(lat)
 	var backend wal.Backend
 	if mode != kv.ModeNone {
@@ -180,7 +181,7 @@ func benchOne(mode kv.Mode, threads, ops, keys, valueBytes int, lat simio.Latenc
 	}
 	rt := stm.NewDefault()
 	before := rt.Snapshot()
-	s, _, err := kv.Open(rt, backend, kv.Options{Mode: mode})
+	s, _, err := kv.Open(rt, backend, kv.Options{Mode: mode, Buckets: buckets})
 	if err != nil {
 		return result{}, err
 	}
@@ -256,7 +257,7 @@ func benchOne(mode kv.Mode, threads, ops, keys, valueBytes int, lat simio.Latenc
 		return result{}, err
 	}
 	if mode != kv.ModeNone {
-		if msg := verifyRecovery(fs, mode, live, r.commits); msg != "" {
+		if msg := verifyRecovery(fs, mode, buckets, live, r.commits); msg != "" {
 			r.recovered = msg
 		}
 	}
@@ -265,8 +266,8 @@ func benchOne(mode kv.Mode, threads, ops, keys, valueBytes int, lat simio.Latenc
 
 // verifyRecovery reopens the store from the log the benchmark wrote and
 // compares it to the live contents at close. Returns "" on success.
-func verifyRecovery(fs *simio.FS, mode kv.Mode, live map[string]string, commits uint64) string {
-	s2, info, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{Mode: mode})
+func verifyRecovery(fs *simio.FS, mode kv.Mode, buckets int, live map[string]string, commits uint64) string {
+	s2, info, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{Mode: mode, Buckets: buckets})
 	if err != nil {
 		return fmt.Sprintf("open: %v", err)
 	}

@@ -1,11 +1,16 @@
-// Command stmbench runs the STM hot-path benchmark suite (read-only,
-// small-write, contended-counter, kv-group-commit) and emits a JSON
+// Command stmbench runs the STM benchmark suites and emits a JSON
 // document that future PRs diff against — the committed BENCH_*.json
-// trajectory files.
+// trajectory files. Two suites exist: "hot" (read-only, small-write,
+// contended-counter, kv-group-commit — per-transaction constant
+// factors) and "scaling" (map-read, map-write, resize-storm across a
+// 1..NumCPU thread ladder — throughput vs. thread count).
 //
 // Usage:
 //
-//	stmbench                         run the suite, print a table
+//	stmbench                         run the hot suite, print a table
+//	stmbench -suite scaling          run the thread-scaling suite
+//	stmbench -suite all              both suites in one document
+//	stmbench -maxthreads 2           cap the scaling thread ladder (CI)
 //	stmbench -json out.json          also write the JSON document
 //	stmbench -baseline old.json      diff against a saved run and emit
 //	                                 a trajectory {baseline, after}
@@ -35,9 +40,11 @@ func run(args []string) int {
 		jsonOut   = fs.String("json", "", "write the result document to this path")
 		baseline  = fs.String("baseline", "", "saved run to diff against; output becomes a {baseline, after} trajectory")
 		validate  = fs.String("validate", "", "validate an existing document and exit (no benchmarks run)")
-		quick     = fs.Bool("quick", false, "CI smoke mode: tiny target times")
-		label     = fs.String("label", "", "label recorded in the document (e.g. pr3-after)")
-		benchtime = fs.Duration("benchtime", 0, "target wall time per workload (default 1s, 25ms with -quick)")
+		quick      = fs.Bool("quick", false, "CI smoke mode: tiny target times")
+		label      = fs.String("label", "", "label recorded in the document (e.g. pr3-after)")
+		benchtime  = fs.Duration("benchtime", 0, "target wall time per workload (default 1s, 25ms with -quick)")
+		suite      = fs.String("suite", "hot", "which suite to run: hot|scaling|all")
+		maxthreads = fs.Int("maxthreads", 0, "cap the scaling suite's thread ladder (0 = up to NumCPU)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,13 +67,26 @@ func run(args []string) int {
 		return 0
 	}
 
-	results := bench.RunStmSuite(bench.StmOptions{
+	stmOpts := bench.StmOptions{
 		Quick:  *quick,
 		Target: *benchtime,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
-	})
+	}
+	var results []bench.StmResult
+	switch *suite {
+	case "hot":
+		results = bench.RunStmSuite(stmOpts)
+	case "scaling":
+		results = bench.RunScalingSuite(bench.ScalingOptions{StmOptions: stmOpts, MaxThreads: *maxthreads})
+	case "all":
+		results = bench.RunStmSuite(stmOpts)
+		results = append(results, bench.RunScalingSuite(bench.ScalingOptions{StmOptions: stmOpts, MaxThreads: *maxthreads})...)
+	default:
+		fmt.Fprintf(os.Stderr, "stmbench: unknown suite %q (want hot|scaling|all)\n", *suite)
+		return 2
+	}
 	doc := bench.NewStmDoc(*label, gitCommit(), *quick, results)
 	if err := bench.ValidateStmDoc(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "stmbench: produced an invalid document: %v\n", err)

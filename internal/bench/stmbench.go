@@ -102,7 +102,10 @@ func (o StmOptions) target() time.Duration {
 type stmWorkload struct {
 	name    string
 	threads int
-	setup   func(threads int) (rt *stm.Runtime, run func(n uint64))
+	// maxN, when nonzero, caps the calibrated N (workloads whose state
+	// grows with every op, like resize-storm, bound their footprint).
+	maxN  uint64
+	setup func(threads int) (rt *stm.Runtime, run func(n uint64))
 }
 
 // RunStmSuite executes the four hot-path workloads and returns their
@@ -161,7 +164,11 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		delta = rt.Snapshot().Delta(before)
 		mallocs = msAfter.Mallocs - msBefore.Mallocs
 		bytes = msAfter.TotalAlloc - msBefore.TotalAlloc
-		if elapsed >= target || n >= 1<<28 || (opts.Quick && n >= 1<<12) {
+		limit := uint64(1 << 28)
+		if w.maxN != 0 && w.maxN < limit {
+			limit = w.maxN
+		}
+		if elapsed >= target || n >= limit || (opts.Quick && n >= 1<<12) {
 			break
 		}
 		// Aim for ~1.5x the target next round, at least doubling.
@@ -171,6 +178,9 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 			if byRate > next {
 				next = byRate
 			}
+		}
+		if next > limit {
+			next = limit
 		}
 		n = next
 	}
@@ -246,7 +256,7 @@ func setupContended(threads int) (*stm.Runtime, func(uint64)) {
 	rt := stm.NewDefault()
 	v := stm.NewVar(0)
 	return rt, func(n uint64) {
-		runParallel(threads, n, func(per uint64) {
+		runParallel(threads, n, func(_ int, per uint64) {
 			for i := uint64(0); i < per; i++ {
 				_ = rt.Atomic(func(tx *stm.Tx) error {
 					v.Set(tx, v.Get(tx)+1)
@@ -270,8 +280,8 @@ func setupKVGroupCommit(threads int) (*stm.Runtime, func(uint64)) {
 	}
 	value := "v-0123456789abcdef"
 	return rt, func(n uint64) {
-		runParallel(threads, n, func(per uint64) {
-			rng := uint64(0x9e3779b97f4a7c15)
+		runParallel(threads, n, func(g int, per uint64) {
+			rng := uint64(g)*0x9e3779b97f4a7c15 + 1
 			for i := uint64(0); i < per; i++ {
 				rng ^= rng << 13
 				rng ^= rng >> 7
@@ -291,18 +301,19 @@ func setupKVGroupCommit(threads int) (*stm.Runtime, func(uint64)) {
 }
 
 // runParallel splits n operations over the given goroutine count and
-// waits for all of them.
-func runParallel(threads int, n uint64, worker func(per uint64)) {
+// waits for all of them. Workers receive their goroutine index so they
+// can derive disjoint RNG streams or key ranges.
+func runParallel(threads int, n uint64, worker func(g int, per uint64)) {
 	per := n / uint64(threads)
 	if per == 0 {
 		per = 1
 	}
 	done := make(chan struct{}, threads)
 	for g := 0; g < threads; g++ {
-		go func() {
-			worker(per)
+		go func(g int) {
+			worker(g, per)
 			done <- struct{}{}
-		}()
+		}(g)
 	}
 	for g := 0; g < threads; g++ {
 		<-done

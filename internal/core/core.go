@@ -140,13 +140,6 @@ func Store[T any](c *OpCtx, v *stm.Var[T], x T) { v.StoreDirect(c.rt, x) }
 // If the operation accesses a shared object not listed in objs, a data
 // race may occur — exactly the proviso of the paper's Section 4.1.
 func AtomicDefer(tx *stm.Tx, op Op, objs ...Object) {
-	me := tx.Owner()
-	rt := tx.Runtime()
-	var opID uint64
-	if rt.Recording() {
-		opID = opIDCtr.Add(1)
-		tx.RecordOnCommit(stm.Event{Kind: stm.EvDeferEnqueue, Owner: me, Aux: opID})
-	}
 	// Acquire phase (two-phase locking): all locks the operation needs,
 	// acquired within the transaction.
 	locks := make([]*txlock.Lock, 0, len(objs))
@@ -155,9 +148,53 @@ func AtomicDefer(tx *stm.Tx, op Op, objs ...Object) {
 			continue
 		}
 		l := o.deferrableLock()
-		l.AcquireAs(tx, me)
+		l.AcquireAs(tx, tx.Owner())
 		locks = append(locks, l)
-		if opID != 0 {
+	}
+	deferWithLocks(tx, op, locks)
+}
+
+// AtomicDeferTry is AtomicDefer with non-blocking lock acquisition: if
+// any object's lock is held by another owner it backs the acquisitions
+// out (inside tx, so nothing escapes) and returns false without
+// deferring op. Use it for optional post-commit work that some other
+// owner may already be performing — e.g. one chunk of an incremental
+// map migration, where a busy lock means another helper holds the
+// critical section and this transaction need not wait for it.
+func AtomicDeferTry(tx *stm.Tx, op Op, objs ...Object) bool {
+	me := tx.Owner()
+	locks := make([]*txlock.Lock, 0, len(objs))
+	for _, o := range objs {
+		if o == nil {
+			continue
+		}
+		l := o.deferrableLock()
+		if !l.TryAcquireAs(tx, me) {
+			for _, held := range locks {
+				// Acquired earlier in this same transaction, so the
+				// release cannot fail.
+				if err := held.ReleaseAs(tx, me); err != nil {
+					panic("core: try-defer backout failed: " + err.Error())
+				}
+			}
+			return false
+		}
+		locks = append(locks, l)
+	}
+	deferWithLocks(tx, op, locks)
+	return true
+}
+
+// deferWithLocks queues op to run after tx commits, holding locks (all
+// already acquired inside tx) and releasing them as it completes.
+func deferWithLocks(tx *stm.Tx, op Op, locks []*txlock.Lock) {
+	me := tx.Owner()
+	rt := tx.Runtime()
+	var opID uint64
+	if rt.Recording() {
+		opID = opIDCtr.Add(1)
+		tx.RecordOnCommit(stm.Event{Kind: stm.EvDeferEnqueue, Owner: me, Aux: opID})
+		for _, l := range locks {
 			tx.RecordOnCommit(stm.Event{Kind: stm.EvDeferLock, Owner: me, Aux: opID, Var: l.VarID()})
 		}
 	}

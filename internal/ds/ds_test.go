@@ -208,8 +208,8 @@ func TestHashMapConcurrent(t *testing.T) {
 
 func TestHashMapMinBuckets(t *testing.T) {
 	m := NewHashMap[int](1)
-	if len(m.buckets) != 16 {
-		t.Errorf("bucket floor = %d", len(m.buckets))
+	if m.BucketCount() != 16 {
+		t.Errorf("bucket floor = %d", m.BucketCount())
 	}
 }
 

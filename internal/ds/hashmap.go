@@ -1,14 +1,59 @@
 package ds
 
 import (
+	"runtime"
+	"sync/atomic"
+
+	"deferstm/internal/core"
 	"deferstm/internal/stm"
 )
 
-// HashMap is a transactional hash map with a fixed bucket array and
-// per-bucket chain Vars: operations on different buckets never conflict.
+// HashMap is a transactional hash map built for multicore scaling:
+//
+//   - Per-bucket chain Vars with immutable nodes, so operations on
+//     different buckets never conflict.
+//   - The entry count is striped across cache-line-spaced counters
+//     (stripe chosen from the key hash), so disjoint-key writers do not
+//     serialize on a single size Var; Len sums the stripes
+//     transactionally and stays exact.
+//   - The bucket array lives behind a table indirection Var and grows by
+//     load-factor-triggered resize. The inserting transaction flips a
+//     resizing flag and uses core.AtomicDefer to acquire the map's lock
+//     and run the rehash as the deferred operation after it commits (the
+//     paper's atomic-deferral idiom: the expensive operation happens
+//     post-commit, yet no transaction can observe a half-built table).
+//     Migration proceeds in bounded chunks — each chunk is its own
+//     deferral unit, so the map is never unavailable for O(n) time.
+//
+// Every operation subscribes to the map's implicit lock first, which is
+// what makes the deferred rehash's direct stores safe: any transaction
+// that could observe an intermediate table conflicts with the lock
+// acquisition and aborts.
 type HashMap[V any] struct {
-	buckets []stm.Var[*mapNode[V]]
-	size    stm.Var[int]
+	core.Deferrable
+	table    stm.Var[*hmTable[V]]
+	resizing stm.Var[bool] // a resize is triggered or in progress
+	stripes  []sizeStripe
+	resizes  atomic.Uint64 // completed resizes (diagnostics/tests)
+}
+
+// hmTable is one immutable view of the map's bucket layout. Outside a
+// migration old is nil and buckets holds every chain. During a migration
+// buckets is the new (larger) array, old is the previous array, and
+// old[frontier:] are the chains not yet moved: a key whose old index is
+// >= frontier still lives in old, everything else lives in buckets. Each
+// migrated chunk installs a fresh hmTable with an advanced frontier.
+type hmTable[V any] struct {
+	buckets  []stm.Var[*mapNode[V]]
+	old      []stm.Var[*mapNode[V]]
+	frontier int
+}
+
+// sizeStripe pads each counter out to its own pair of cache lines so
+// commits to different stripes never false-share.
+type sizeStripe struct {
+	n stm.Var[int]
+	_ [96]byte // sizeof(stm.Var[int]) == 32; pad to 128
 }
 
 type mapNode[V any] struct {
@@ -17,22 +62,70 @@ type mapNode[V any] struct {
 	next *mapNode[V]
 }
 
+const (
+	minBuckets = 16
+	// maxChain is the chain length that makes an inserting transaction
+	// consider triggering a resize.
+	maxChain = 8
+	// growFactor: resize when entries > growFactor * buckets.
+	growFactor = 4
+	// migrateChunkBuckets bounds the work done under the map lock by one
+	// deferral unit; between chunks the lock is free and blocked
+	// transactions proceed against the frontier view.
+	migrateChunkBuckets = 64
+)
+
 // NewHashMap creates a map with nBuckets buckets (minimum 16).
 func NewHashMap[V any](nBuckets int) *HashMap[V] {
-	if nBuckets < 16 {
-		nBuckets = 16
+	if nBuckets < minBuckets {
+		nBuckets = minBuckets
 	}
-	return &HashMap[V]{buckets: make([]stm.Var[*mapNode[V]], nBuckets)}
+	m := &HashMap[V]{stripes: make([]sizeStripe, stripeCount())}
+	m.table.Init(&hmTable[V]{buckets: make([]stm.Var[*mapNode[V]], nBuckets)})
+	return m
 }
 
-func (m *HashMap[V]) bucket(k int64) *stm.Var[*mapNode[V]] {
-	h := uint64(k) * 0x9E3779B97F4A7C15
-	return &m.buckets[h%uint64(len(m.buckets))]
+// stripeCount sizes the stripe array to the core count (power of two,
+// clamped to [8, 64]) so concurrent size movers rarely collide.
+func stripeCount() int {
+	n := 8
+	for n < runtime.GOMAXPROCS(0) && n < 64 {
+		n *= 2
+	}
+	return n
+}
+
+func hashKey(k int64) uint64 { return uint64(k) * 0x9E3779B97F4A7C15 }
+
+// stripeFor picks a size stripe from high hash bits, decorrelated from
+// the bucket index (low bits) so same-stripe and same-bucket conflicts
+// are independent.
+func (m *HashMap[V]) stripeFor(h uint64) *stm.Var[int] {
+	return &m.stripes[(h>>32)%uint64(len(m.stripes))].n
+}
+
+// view subscribes to the map's lock and returns the current table. The
+// subscription is mandatory before any table access: it orders the
+// transaction against deferred rehash operations.
+func (m *HashMap[V]) view(tx *stm.Tx) *hmTable[V] {
+	m.Subscribe(tx)
+	return m.table.Get(tx)
+}
+
+// bucketFor returns the chain Var holding key hash h under table t.
+func (t *hmTable[V]) bucketFor(h uint64) *stm.Var[*mapNode[V]] {
+	if t.old != nil {
+		if oi := int(h % uint64(len(t.old))); oi >= t.frontier {
+			return &t.old[oi]
+		}
+	}
+	return &t.buckets[h%uint64(len(t.buckets))]
 }
 
 // Get returns the value for k and whether it was present.
 func (m *HashMap[V]) Get(tx *stm.Tx, k int64) (V, bool) {
-	for n := m.bucket(k).Get(tx); n != nil; n = n.next {
+	h := hashKey(k)
+	for n := m.view(tx).bucketFor(h).Get(tx); n != nil; n = n.next {
 		if n.key == k {
 			return n.val, true
 		}
@@ -44,17 +137,24 @@ func (m *HashMap[V]) Get(tx *stm.Tx, k int64) (V, bool) {
 // Put inserts or replaces k's value, returning true if the key was new.
 // Chains are immutable nodes: updates rebuild the chain prefix, so readers
 // of other keys in the same bucket conflict only via the bucket head Var.
+// A single pass over the chain both finds the key and measures the chain.
 func (m *HashMap[V]) Put(tx *stm.Tx, k int64, v V) bool {
-	b := m.bucket(k)
+	t := m.view(tx)
+	h := hashKey(k)
+	b := t.bucketFor(h)
 	head := b.Get(tx)
+	chain := 0
 	for n := head; n != nil; n = n.next {
+		chain++
 		if n.key == k {
 			b.Set(tx, replaceNode(head, k, v))
 			return false
 		}
 	}
 	b.Set(tx, &mapNode[V]{key: k, val: v, next: head})
-	m.size.Set(tx, m.size.Get(tx)+1)
+	s := m.stripeFor(h)
+	s.Set(tx, s.Get(tx)+1)
+	m.maybeGrow(tx, t, chain+1)
 	return true
 }
 
@@ -66,42 +166,188 @@ func replaceNode[V any](head *mapNode[V], k int64, v V) *mapNode[V] {
 	return &mapNode[V]{key: head.key, val: head.val, next: replaceNode(head.next, k, v)}
 }
 
-// Delete removes k, returning whether it was present.
+// Delete removes k, returning whether it was present. One pass: removeNode
+// walks the chain once, rebuilding the prefix only if the key exists.
 func (m *HashMap[V]) Delete(tx *stm.Tx, k int64) bool {
-	b := m.bucket(k)
-	head := b.Get(tx)
-	found := false
-	for n := head; n != nil; n = n.next {
-		if n.key == k {
-			found = true
-			break
-		}
-	}
-	if !found {
+	t := m.view(tx)
+	h := hashKey(k)
+	b := t.bucketFor(h)
+	nh, ok := removeNode(b.Get(tx), k)
+	if !ok {
 		return false
 	}
-	b.Set(tx, removeNode(head, k))
-	m.size.Set(tx, m.size.Get(tx)-1)
+	b.Set(tx, nh)
+	s := m.stripeFor(h)
+	s.Set(tx, s.Get(tx)-1)
 	return true
 }
 
-func removeNode[V any](head *mapNode[V], k int64) *mapNode[V] {
-	if head.key == k {
-		return head.next
+// removeNode returns the chain with k removed and whether k was found,
+// copying only the prefix before k and only when k is present.
+func removeNode[V any](head *mapNode[V], k int64) (*mapNode[V], bool) {
+	if head == nil {
+		return nil, false
 	}
-	return &mapNode[V]{key: head.key, val: head.val, next: removeNode(head.next, k)}
+	if head.key == k {
+		return head.next, true
+	}
+	rest, ok := removeNode(head.next, k)
+	if !ok {
+		return head, false
+	}
+	return &mapNode[V]{key: head.key, val: head.val, next: rest}, true
 }
 
-// Len returns the number of entries.
-func (m *HashMap[V]) Len(tx *stm.Tx) int { return m.size.Get(tx) }
+// Len returns the number of entries: the transactional sum of the size
+// stripes, exact under serializability.
+func (m *HashMap[V]) Len(tx *stm.Tx) int {
+	m.Subscribe(tx)
+	total := 0
+	for i := range m.stripes {
+		total += m.stripes[i].n.Get(tx)
+	}
+	return total
+}
 
 // Range calls fn for each entry (inside tx) until fn returns false.
 func (m *HashMap[V]) Range(tx *stm.Tx, fn func(k int64, v V) bool) {
-	for i := range m.buckets {
-		for n := m.buckets[i].Get(tx); n != nil; n = n.next {
+	t := m.view(tx)
+	for i := range t.buckets {
+		for n := t.buckets[i].Get(tx); n != nil; n = n.next {
 			if !fn(n.key, n.val) {
 				return
 			}
 		}
+	}
+	if t.old == nil {
+		return
+	}
+	for i := t.frontier; i < len(t.old); i++ {
+		for n := t.old[i].Get(tx); n != nil; n = n.next {
+			if !fn(n.key, n.val) {
+				return
+			}
+		}
+	}
+}
+
+// Resizes reports how many resizes have completed (snapshot).
+func (m *HashMap[V]) Resizes() uint64 { return m.resizes.Load() }
+
+// Migrating reports whether a migration is in progress (snapshot).
+func (m *HashMap[V]) Migrating() bool { return m.table.Load().old != nil }
+
+// BucketCount reports the current bucket array length (snapshot).
+func (m *HashMap[V]) BucketCount() int { return len(m.table.Load().buckets) }
+
+// approxLen sums the stripes non-transactionally. It deliberately avoids
+// Get: reading every stripe into the read set would make each insert
+// conflict with every size movement, recreating the single-counter
+// hotspot. The value is a heuristic used only by the resize trigger.
+func (m *HashMap[V]) approxLen() int {
+	total := 0
+	for i := range m.stripes {
+		total += m.stripes[i].n.Load()
+	}
+	return total
+}
+
+// maybeGrow decides, after an insert produced a chain of chainLen, whether
+// this transaction should trigger a resize. The trigger transaction flips
+// the resizing flag (so exactly one committed transaction triggers) and
+// defers beginResize under the map lock — the paper's pattern of moving a
+// long operation out of the transaction while keeping it atomic.
+func (m *HashMap[V]) maybeGrow(tx *stm.Tx, t *hmTable[V], chainLen int) {
+	if chainLen <= maxChain || t.old != nil {
+		return
+	}
+	if m.approxLen() <= growFactor*len(t.buckets) {
+		return
+	}
+	if m.resizing.Get(tx) {
+		return
+	}
+	m.resizing.Set(tx, true)
+	core.AtomicDefer(tx, func(ctx *core.OpCtx) { m.beginResize(ctx) }, m)
+}
+
+// beginResize runs as a deferred operation holding the map lock: it
+// installs the migrating table (new empty buckets, old array, frontier 0),
+// migrates the first chunk, and — if chains remain — hands the rest to a
+// background migrator. Direct stores are safe here because every map
+// operation subscribes to the lock this operation holds.
+func (m *HashMap[V]) beginResize(ctx *core.OpCtx) {
+	t := core.Load(ctx, &m.table)
+	if t.old != nil {
+		return // already migrating (defensive; the resizing flag gates)
+	}
+	newLen := 2 * len(t.buckets)
+	for m.approxLen() > growFactor*newLen {
+		newLen *= 2
+	}
+	nt := &hmTable[V]{buckets: make([]stm.Var[*mapNode[V]], newLen), old: t.buckets}
+	if m.migrateChunk(ctx, nt) {
+		go m.migrateLoop(ctx.Runtime())
+	}
+}
+
+// migrateChunk moves up to migrateChunkBuckets old chains into the new
+// bucket array and installs the advanced-frontier table (or the final
+// table, ending the migration). Must run holding the map lock. Reports
+// whether chains remain.
+func (m *HashMap[V]) migrateChunk(ctx *core.OpCtx, t *hmTable[V]) bool {
+	end := t.frontier + migrateChunkBuckets
+	if end > len(t.old) {
+		end = len(t.old)
+	}
+	for i := t.frontier; i < end; i++ {
+		for n := core.Load(ctx, &t.old[i]); n != nil; n = n.next {
+			// Rehash into the new array. The target bucket may already
+			// hold keys from other (migrated) old buckets, so prepend.
+			j := hashKey(n.key) % uint64(len(t.buckets))
+			core.Store(ctx, &t.buckets[j],
+				&mapNode[V]{key: n.key, val: n.val, next: core.Load(ctx, &t.buckets[j])})
+		}
+	}
+	if end == len(t.old) {
+		core.Store(ctx, &m.table, &hmTable[V]{buckets: t.buckets})
+		core.Store(ctx, &m.resizing, false)
+		m.resizes.Add(1)
+		return false
+	}
+	core.Store(ctx, &m.table, &hmTable[V]{buckets: t.buckets, old: t.old, frontier: end})
+	return true
+}
+
+// migrateLoop drives the remaining chunks from a plain goroutine under a
+// fresh owner identity. Each chunk is one transaction deferring one
+// operation — its own two-phase-locking unit — so the lock is released
+// between chunks and map operations interleave with the migration. A
+// failed TryAcquire means another owner holds the lock (a user-visible
+// Lock() holder, or a second migrator after back-to-back resizes); we
+// yield and retry, and stop as soon as a table with old == nil is seen.
+func (m *HashMap[V]) migrateLoop(rt *stm.Runtime) {
+	me := rt.NewOwner()
+	for {
+		migrating := false
+		_ = rt.AtomicAs(me, func(tx *stm.Tx) error {
+			migrating = false
+			m.Subscribe(tx)
+			t := m.table.Get(tx)
+			if t.old == nil {
+				return nil
+			}
+			migrating = true
+			core.AtomicDeferTry(tx, func(ctx *core.OpCtx) {
+				if nt := core.Load(ctx, &m.table); nt.old != nil {
+					m.migrateChunk(ctx, nt)
+				}
+			}, m)
+			return nil
+		})
+		if !migrating {
+			return
+		}
+		runtime.Gosched()
 	}
 }

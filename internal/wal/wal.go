@@ -396,7 +396,16 @@ func (l *Log) ensureDurable(ctx *core.OpCtx, lsn uint64) {
 	if l.durable.Load() >= lsn {
 		return // an earlier batch covered us
 	}
-	rt, me := ctx.Runtime(), ctx.Owner()
+	// Run under a fresh owner identity, not the deferring transaction's.
+	// The deferring transaction may have other deferral units that already
+	// released their locks (e.g. a map-resize trigger in the same commit);
+	// acquiring the log lock under that owner afterwards would reopen its
+	// acquire phase and break the two-phase structure the checker (and the
+	// paper's correctness argument) relies on. Nothing here needs the old
+	// identity: the reentrant case is already handled at Append time.
+	rt := ctx.Runtime()
+	me := rt.NewOwner()
+	ctx = core.NewOpCtx(rt, me)
 	acquired := false
 	_ = rt.AtomicAs(me, func(tx *stm.Tx) error {
 		acquired = false

@@ -1,11 +1,16 @@
 #!/bin/sh
 # benchdiff.sh [baseline.json] [out.json]
 #
-# Re-runs the STM hot-path benchmark suite and prints a per-workload
-# delta table against a saved baseline produced by `make bench` (or any
-# `stmbench -json` run). The combined before/after trajectory is written
-# to out.json (default: stm-benchdiff.json) so a regression can be
-# committed alongside the change that introduced — or fixed — it.
+# Re-runs an STM benchmark suite and prints a per-workload delta table
+# against a saved baseline produced by `make bench` / `make
+# bench-scaling` (or any `stmbench -json` run). Scaling results are
+# named "<workload>/<threads>", so multi-thread series diff point for
+# point like any other workload. The combined before/after trajectory
+# is written to out.json (default: stm-benchdiff.json) so a regression
+# can be committed alongside the change that introduced — or fixed — it.
+#
+# SUITE=hot|scaling|all (default hot) selects which workloads re-run;
+# it must match the suite the baseline was recorded with.
 #
 # Exit status is stmbench's: non-zero only on harness failure, never on
 # a slowdown. Timing thresholds are a human decision, not a CI gate.
@@ -15,11 +20,12 @@ cd "$(dirname "$0")/.."
 
 baseline="${1:-stm-bench.json}"
 out="${2:-stm-benchdiff.json}"
+suite="${SUITE:-hot}"
 
 if [ ! -f "$baseline" ]; then
     echo "benchdiff: baseline '$baseline' not found; run 'make bench' first" >&2
     exit 2
 fi
 
-go run ./cmd/stmbench -baseline "$baseline" -json "$out" -label benchdiff
+go run ./cmd/stmbench -suite "$suite" -baseline "$baseline" -json "$out" -label benchdiff
 echo "trajectory written to $out"

@@ -39,4 +39,11 @@ trap 'rm -f "$tmpjson"' EXIT
 go run ./cmd/stmbench -quick -json "$tmpjson" >/dev/null
 go run ./cmd/stmbench -validate "$tmpjson"
 
+# Scaling-suite smoke at 2 threads: exercises the striped-size maps and
+# the deferred chunked resize (resize-storm) end to end, and validates
+# the emitted document. Again no timing assertions.
+echo "==> stmbench scaling-suite smoke (quick, 2 threads)"
+go run ./cmd/stmbench -suite scaling -quick -maxthreads 2 -json "$tmpjson" >/dev/null
+go run ./cmd/stmbench -validate "$tmpjson"
+
 echo "CI green"
