@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-scaling bench-figs benchdiff
+.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-scaling bench-figs benchdiff trace
 
 all: build test
 
@@ -48,6 +48,16 @@ bench-scaling:
 # Go testing-framework microbenchmarks (figure pipelines etc.).
 bench-figs:
 	$(GO) test -bench=. -benchmem ./...
+
+# Export a Chrome trace of a short deferral workload to stm-trace.json:
+# tx spans with nested quiesce waits, plus deferred-λ spans linked to the
+# transactions that enqueued them. Load the file in https://ui.perfetto.dev
+# or chrome://tracing. -check verifies the same event stream offline.
+# (The defer workload is used because it exercises every span kind;
+# selfcheck exists only to test the harness's failure exit and records
+# no events.)
+trace:
+	$(GO) run ./cmd/stmtorture -duration 1s -threads 4 -workload defer -check -trace stm-trace.json
 
 # Re-run a suite and diff against a saved baseline JSON
 # (BASELINE=path, default stm-bench.json from a previous `make bench`;

@@ -17,6 +17,9 @@
 // Example:
 //
 //	kvbench -threads 1,4,8 -ops 400 -latency slowdisk
+//
+// Pass -metrics 127.0.0.1:9191 to serve live /metrics (Prometheus text)
+// and /debug/pprof while the benchmark runs.
 package main
 
 import (
@@ -24,12 +27,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"deferstm/internal/bench"
 	"deferstm/internal/kv"
+	"deferstm/internal/obs"
 	"deferstm/internal/simio"
 	"deferstm/internal/stm"
 	"deferstm/internal/wal"
@@ -64,6 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		modes   = fs.String("modes", "none,sync,group", "modes to run")
 		buckets = fs.Int("buckets", 0, "store hash buckets (0 = kv default); small values force resizes")
 		csv     = fs.Bool("csv", false, "emit CSV instead of a text table")
+		metrics = fs.String("metrics", "", "serve /metrics + /debug/pprof on this address while the benchmark runs (e.g. 127.0.0.1:9191)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,10 +108,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Each benchOne builds a fresh Runtime, so the instruments are shared
+	// across all runs (histograms accumulate over the whole benchmark) and
+	// the stats callbacks follow the current runtime through an atomic
+	// pointer — the exported counter series stay stable while runtimes
+	// come and go.
+	var met *stm.Metrics
+	var curRT atomic.Pointer[stm.Runtime]
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.SetBuildInfo("commit", bench.GitCommit(), "go", runtime.Version(), "binary", "kvbench")
+		met = stm.NewMetrics(reg)
+		stm.RegisterStats(reg, func() stm.StatsSnapshot {
+			if rt := curRT.Load(); rt != nil {
+				return rt.Snapshot()
+			}
+			return stm.StatsSnapshot{}
+		})
+		addr, stop, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "kvbench: -metrics: %v\n", err)
+			return 1
+		}
+		defer stop()
+		fmt.Fprintf(stderr, "metrics: http://%s/metrics\n", addr)
+	}
+
 	var results []result
 	for _, mode := range modeList {
 		for _, t := range threadCounts {
-			r, err := benchOne(mode, t, *ops, *keys, *value, *buckets, lat)
+			r, err := benchOne(mode, t, *ops, *keys, *value, *buckets, lat, met, &curRT)
 			if err != nil {
 				fmt.Fprintf(stderr, "kvbench: %v@%d: %v\n", mode, t, err)
 				return 1
@@ -173,13 +207,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat simio.Latency) (result, error) {
+func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat simio.Latency, met *stm.Metrics, curRT *atomic.Pointer[stm.Runtime]) (result, error) {
 	fs := simio.NewFS(lat)
 	var backend wal.Backend
 	if mode != kv.ModeNone {
 		backend = wal.NewSimBackend(fs)
 	}
 	rt := stm.NewDefault()
+	if met != nil {
+		rt.SetMetrics(met)
+		curRT.Store(rt)
+	}
 	before := rt.Snapshot()
 	s, _, err := kv.Open(rt, backend, kv.Options{Mode: mode, Buckets: buckets})
 	if err != nil {

@@ -16,18 +16,18 @@
 //	                                 a trajectory {baseline, after}
 //	stmbench -validate f.json        only check a document is well formed
 //	stmbench -quick                  CI smoke: milliseconds, no thresholds
+//	stmbench -metrics 127.0.0.1:9190 serve /metrics + /debug/pprof while running
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/exec"
-	"strings"
-	"time"
+	"runtime"
 
 	"deferstm/internal/bench"
+	"deferstm/internal/obs"
+	"deferstm/internal/stm"
 )
 
 func main() {
@@ -45,6 +45,7 @@ func run(args []string) int {
 		benchtime  = fs.Duration("benchtime", 0, "target wall time per workload (default 1s, 25ms with -quick)")
 		suite      = fs.String("suite", "hot", "which suite to run: hot|scaling|all")
 		maxthreads = fs.Int("maxthreads", 0, "cap the scaling suite's thread ladder (0 = up to NumCPU)")
+		metrics    = fs.String("metrics", "", "serve /metrics + /debug/pprof on this address while the suite runs (e.g. 127.0.0.1:9190)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,12 +68,25 @@ func run(args []string) int {
 		return 0
 	}
 
+	commit := bench.GitCommit()
 	stmOpts := bench.StmOptions{
 		Quick:  *quick,
 		Target: *benchtime,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
+	}
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.SetBuildInfo("commit", commit, "go", runtime.Version(), "binary", "stmbench")
+		stmOpts.Metrics = stm.NewMetrics(reg)
+		addr, stop, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stmbench: -metrics: %v\n", err)
+			return 1
+		}
+		defer stop()
+		fmt.Printf("metrics: http://%s/metrics\n", addr)
 	}
 	var results []bench.StmResult
 	switch *suite {
@@ -87,7 +101,7 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "stmbench: unknown suite %q (want hot|scaling|all)\n", *suite)
 		return 2
 	}
-	doc := bench.NewStmDoc(*label, gitCommit(), *quick, results)
+	doc := bench.NewStmDoc(*label, commit, *quick, results)
 	if err := bench.ValidateStmDoc(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "stmbench: produced an invalid document: %v\n", err)
 		return 1
@@ -112,16 +126,4 @@ func run(args []string) int {
 		fmt.Printf("wrote %s\n", *jsonOut)
 	}
 	return 0
-}
-
-// gitCommit best-effort resolves the working tree's HEAD for the
-// document metadata; empty when git is unavailable.
-func gitCommit() string {
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	out, err := exec.CommandContext(ctx, "git", "rev-parse", "--short", "HEAD").Output()
-	if err != nil {
-		return ""
-	}
-	return strings.TrimSpace(string(out))
 }

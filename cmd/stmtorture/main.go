@@ -29,6 +29,14 @@
 //
 //	stmtorture -duration 10s -threads 8 -workload all -mode stm
 //	stmtorture -duration 2s -check -inject -seed 7
+//	stmtorture -duration 1s -workload defer -trace trace.json
+//	stmtorture -duration 10s -metrics 127.0.0.1:9192
+//
+// With -metrics, the run serves live Prometheus-text /metrics and
+// /debug/pprof on the given address for its duration. With -trace, the
+// full event stream is exported as Chrome trace-event JSON (load in
+// Perfetto or chrome://tracing); -trace composes with -check, which
+// then verifies the same stream the trace was drawn from.
 package main
 
 import (
@@ -36,16 +44,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"deferstm/internal/bench"
 	"deferstm/internal/check"
 	"deferstm/internal/core"
 	"deferstm/internal/ds"
 	"deferstm/internal/history"
 	"deferstm/internal/kv"
+	"deferstm/internal/obs"
 	"deferstm/internal/simio"
 	"deferstm/internal/stm"
 	"deferstm/internal/txlock"
@@ -87,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkHist = fs.Bool("check", false, "record the full event history and verify serializability, opacity, deferral atomicity and 2PL")
 		inject    = fs.Bool("inject", false, "enable seeded fault injection (forced aborts, delayed write-back, quiescence and commit→λ stalls)")
 		maxOps    = fs.Int64("maxops", 0, "per-thread operation cap (0 = unlimited; defaults to 4000 under -check to bound the recorded history)")
+		metrics   = fs.String("metrics", "", "serve /metrics + /debug/pprof on this address while the run lasts (e.g. 127.0.0.1:9192)")
+		trace     = fs.String("trace", "", "write the run's event stream as Chrome trace-event JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -113,8 +126,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	ops := *maxOps
-	if *checkHist && ops == 0 {
-		ops = 4000
+	if (*checkHist || *trace != "") && ops == 0 {
+		ops = 4000 // bound the recorded history/trace
+	}
+
+	// Workloads each build a fresh runtime, so shared instruments plus an
+	// atomic runtime pointer keep the exported series stable across them
+	// (same scheme as kvbench).
+	var met *stm.Metrics
+	var curRT atomic.Pointer[stm.Runtime]
+	if *metrics != "" {
+		reg := obs.NewRegistry()
+		reg.SetBuildInfo("commit", bench.GitCommit(), "go", runtime.Version(), "binary", "stmtorture")
+		met = stm.NewMetrics(reg)
+		stm.RegisterStats(reg, func() stm.StatsSnapshot {
+			if rt := curRT.Load(); rt != nil {
+				return rt.Snapshot()
+			}
+			return stm.StatsSnapshot{}
+		})
+		addr, stop, err := reg.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "stmtorture: -metrics: %v\n", err)
+			return 2
+		}
+		defer stop()
+		fmt.Fprintf(stderr, "metrics: http://%s/metrics\n", addr)
+	}
+	var tw *history.TraceWriter
+	if *trace != "" {
+		tw = history.NewTraceWriter()
 	}
 
 	workloads := map[string]func(*torture, *stm.Runtime, int, time.Duration){
@@ -134,7 +175,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		ran++
-		total += runWorkload(name, workloads[name], cfg, *threads, *duration, *seed, ops, *checkHist, stdout, stderr)
+		total += runWorkload(name, workloads[name], cfg, *threads, *duration, *seed, ops, *checkHist, met, &curRT, tw, stdout, stderr)
 	}
 	if ran == 0 {
 		fn, ok := workloads[*workload]
@@ -142,7 +183,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "stmtorture: unknown workload %q\n", *workload)
 			return 2
 		}
-		total += runWorkload(*workload, fn, cfg, *threads, *duration, *seed, ops, *checkHist, stdout, stderr)
+		total += runWorkload(*workload, fn, cfg, *threads, *duration, *seed, ops, *checkHist, met, &curRT, tw, stdout, stderr)
+	}
+	if tw != nil {
+		f, err := os.Create(*trace)
+		if err == nil {
+			err = tw.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "stmtorture: -trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d events)\n", *trace, tw.Len())
 	}
 	if total > 0 {
 		fmt.Fprintf(stderr, "stmtorture: %d invariant violations\n", total)
@@ -156,15 +211,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 // recording and checking its history, and returns the failure count.
 func runWorkload(name string, fn func(*torture, *stm.Runtime, int, time.Duration),
 	cfg stm.Config, threads int, d time.Duration, seed uint64, maxOps int64,
-	checkHist bool, stdout, stderr io.Writer) int64 {
+	checkHist bool, met *stm.Metrics, curRT *atomic.Pointer[stm.Runtime],
+	tw *history.TraceWriter, stdout, stderr io.Writer) int64 {
 
 	var log *history.Log
 	if checkHist {
 		log = history.New()
 		cfg.Recorder = log
 	}
+	if tw != nil {
+		// The trace captures everything; under -check it tees into the
+		// fresh per-workload log so the same stream is also verified.
+		if log != nil {
+			tw.Tee(log)
+		}
+		cfg.Recorder = tw
+	}
 	h := &torture{stderr: stderr, seed: seed, maxOps: maxOps}
 	rt := stm.New(cfg)
+	if met != nil {
+		rt.SetMetrics(met)
+		curRT.Store(rt)
+	}
 	before := rt.Snapshot()
 	start := time.Now()
 	fn(h, rt, threads, d)

@@ -1,0 +1,22 @@
+package bench
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"time"
+)
+
+// GitCommit best-effort resolves the working tree's HEAD short hash for
+// document metadata and build-info gauges; empty when git (or a repo)
+// is unavailable. Shared by cmd/stmbench, cmd/kvbench and the metrics
+// endpoints so every artifact of one build carries the same identifier.
+func GitCommit() string {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, "git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

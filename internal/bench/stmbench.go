@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"deferstm/internal/kv"
+	"deferstm/internal/obs"
 	"deferstm/internal/simio"
 	"deferstm/internal/stm"
 	"deferstm/internal/wal"
@@ -42,6 +43,16 @@ type StmResult struct {
 	QuiesceNanos  uint64  `json:"quiesce_nanos"`
 	WALRecords    uint64  `json:"wal_records,omitempty"`
 	WALFlushes    uint64  `json:"wal_flushes,omitempty"`
+
+	// Tail latency of the measured run's successful transactions, from
+	// the runtime's log2-bucketed commit-latency histogram: upper bounds
+	// tight to within one bucket (a factor of two), with the exact max.
+	// Mean ns/op above includes aborted attempts and harness overhead;
+	// these do not.
+	TxP50Ns float64 `json:"tx_p50_ns,omitempty"`
+	TxP90Ns float64 `json:"tx_p90_ns,omitempty"`
+	TxP99Ns float64 `json:"tx_p99_ns,omitempty"`
+	TxMaxNs float64 `json:"tx_max_ns,omitempty"`
 }
 
 // StmDoc is the JSON document cmd/stmbench emits: one machine, one
@@ -84,6 +95,11 @@ type StmOptions struct {
 	Quick bool
 	// Logf, when non-nil, receives one progress line per workload.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, is attached to every workload's runtime
+	// (cmd/stmbench's -metrics endpoint shares one instrument set
+	// across the suite). Nil makes each measurement use a private,
+	// unregistered set — percentiles are always collected.
+	Metrics *stm.Metrics
 }
 
 func (o StmOptions) target() time.Duration {
@@ -140,6 +156,12 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 	rt, run := w.setup(w.threads)
 	target := opts.target()
 
+	met := opts.Metrics
+	if met == nil {
+		met = stm.NewMetrics(nil)
+	}
+	rt.SetMetrics(met)
+
 	n := uint64(64)
 	if opts.Quick {
 		n = 16
@@ -152,16 +174,19 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		bytes   uint64
 		before  stm.StatsSnapshot
 		delta   stm.StatsSnapshot
+		lat     obs.HistSnapshot
 	)
 	for {
 		var msBefore, msAfter runtime.MemStats
 		before = rt.Snapshot()
+		latBefore := met.TxLatency.Snapshot()
 		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		run(n)
 		elapsed = time.Since(start)
 		runtime.ReadMemStats(&msAfter)
 		delta = rt.Snapshot().Delta(before)
+		lat = met.TxLatency.Snapshot().Delta(latBefore)
 		mallocs = msAfter.Mallocs - msBefore.Mallocs
 		bytes = msAfter.TotalAlloc - msBefore.TotalAlloc
 		limit := uint64(1 << 28)
@@ -202,6 +227,12 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 	}
 	if elapsed > 0 {
 		r.CommitsPerSec = float64(delta.Commits) / elapsed.Seconds()
+	}
+	if lat.Count > 0 {
+		r.TxP50Ns = lat.Quantile(0.50)
+		r.TxP90Ns = lat.Quantile(0.90)
+		r.TxP99Ns = lat.Quantile(0.99)
+		r.TxMaxNs = float64(lat.Max)
 	}
 	return r
 }
@@ -425,16 +456,22 @@ func DiffStmDocs(w io.Writer, oldDoc, newDoc *StmDoc) {
 	for _, r := range oldDoc.Results {
 		byName[r.Name] = r
 	}
-	fmt.Fprintf(w, "%-18s %14s %14s %8s   %s\n",
-		"workload", "old ns/op", "new ns/op", "delta", "allocs/op old->new")
+	fmt.Fprintf(w, "%-18s %14s %14s %8s %12s   %s\n",
+		"workload", "old ns/op", "new ns/op", "delta", "p99 old->new", "allocs/op old->new")
 	for _, nr := range newDoc.Results {
 		or, ok := byName[nr.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-18s %14s %14.1f %8s   (new workload)\n", nr.Name, "-", nr.NsPerOp, "-")
+			fmt.Fprintf(w, "%-18s %14s %14.1f %8s %12s   (new workload)\n", nr.Name, "-", nr.NsPerOp, "-", "-")
 			continue
 		}
 		pct := 100 * (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
-		fmt.Fprintf(w, "%-18s %14.1f %14.1f %+7.1f%%   %.2f -> %.2f\n",
-			nr.Name, or.NsPerOp, nr.NsPerOp, pct, or.AllocsPerOp, nr.AllocsPerOp)
+		p99 := "-"
+		if or.TxP99Ns > 0 && nr.TxP99Ns > 0 {
+			p99 = fmt.Sprintf("%.0f->%.0f", or.TxP99Ns, nr.TxP99Ns)
+		} else if nr.TxP99Ns > 0 {
+			p99 = fmt.Sprintf("-> %.0f", nr.TxP99Ns)
+		}
+		fmt.Fprintf(w, "%-18s %14.1f %14.1f %+7.1f%% %12s   %.2f -> %.2f\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, pct, p99, or.AllocsPerOp, nr.AllocsPerOp)
 	}
 }

@@ -26,11 +26,20 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
 	"sync/atomic"
+	"time"
 
 	"deferstm/internal/stm"
 	"deferstm/internal/txlock"
 )
+
+// pprofLabels tags deferred-operation execution so CPU/goroutine
+// profiles taken through the -metrics debug endpoint attribute the
+// post-commit tail to the deferral machinery rather than to whatever
+// committer happened to run it.
+var pprofLabels = pprof.Labels("deferstm", "deferred-op")
 
 // opIDCtr numbers deferred operations for history recording; IDs are
 // global so histories from several runtimes never collide.
@@ -203,17 +212,32 @@ func deferWithLocks(tx *stm.Tx, op Op, locks []*txlock.Lock) {
 			rt.RecordEvent(stm.Event{Kind: stm.EvDeferStart, Owner: me, Aux: opID})
 		}
 		ctx := &OpCtx{rt: rt, owner: me}
+		met := rt.Metrics()
+		var h0 time.Time
+		if met != nil {
+			h0 = time.Now()
+		}
 		defer func() {
 			// Release phase: even if the operation panics, the locks
 			// must not leak (concurrent subscribers would block
 			// forever); release, then let the panic propagate.
 			releaseAll(rt, me, locks)
+			if met != nil {
+				// Lock hold time spans the operation *and* its release
+				// transaction: that whole window is what concurrent
+				// subscribers of these objects wait out.
+				met.DeferLockHold.Observe(time.Since(h0))
+			}
 			rt.Stats().DeferredOps.Add(1)
 			if opID != 0 {
 				rt.RecordEvent(stm.Event{Kind: stm.EvDeferEnd, Owner: me, Aux: opID})
 			}
 		}()
-		op(ctx)
+		if met != nil {
+			pprof.Do(context.Background(), pprofLabels, func(context.Context) { op(ctx) })
+		} else {
+			op(ctx)
+		}
 	})
 }
 

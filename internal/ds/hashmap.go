@@ -1,8 +1,11 @@
 package ds
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
+	"time"
 
 	"deferstm/internal/core"
 	"deferstm/internal/stm"
@@ -296,6 +299,9 @@ func (m *HashMap[V]) beginResize(ctx *core.OpCtx) {
 // table, ending the migration). Must run holding the map lock. Reports
 // whether chains remain.
 func (m *HashMap[V]) migrateChunk(ctx *core.OpCtx, t *hmTable[V]) bool {
+	if met := ctx.Runtime().Metrics(); met != nil {
+		defer func(t0 time.Time) { met.ResizeChunk.Observe(time.Since(t0)) }(time.Now())
+	}
 	end := t.frontier + migrateChunkBuckets
 	if end > len(t.old) {
 		end = len(t.old)
@@ -327,6 +333,17 @@ func (m *HashMap[V]) migrateChunk(ctx *core.OpCtx, t *hmTable[V]) bool {
 // Lock() holder, or a second migrator after back-to-back resizes); we
 // yield and retry, and stop as soon as a table with old == nil is seen.
 func (m *HashMap[V]) migrateLoop(rt *stm.Runtime) {
+	if rt.Metrics() != nil {
+		// Label the migrator so goroutine/CPU profiles from the debug
+		// endpoint separate background rehashing from foreground work.
+		pprof.Do(context.Background(), pprof.Labels("deferstm", "map-migrator"),
+			func(context.Context) { m.migrateChunks(rt) })
+		return
+	}
+	m.migrateChunks(rt)
+}
+
+func (m *HashMap[V]) migrateChunks(rt *stm.Runtime) {
 	me := rt.NewOwner()
 	for {
 		migrating := false

@@ -1,9 +1,12 @@
 package kv
 
 import (
+	"context"
 	"hash/maphash"
 	"runtime"
+	"runtime/pprof"
 	"sync/atomic"
+	"time"
 
 	"deferstm/internal/core"
 	"deferstm/internal/stm"
@@ -248,6 +251,9 @@ func (m *smap) beginResize(ctx *core.OpCtx) {
 // advanced-frontier (or final) table. Must run holding the map lock.
 // Reports whether chains remain.
 func (m *smap) migrateChunk(ctx *core.OpCtx, t *stable) bool {
+	if met := ctx.Runtime().Metrics(); met != nil {
+		defer func(t0 time.Time) { met.ResizeChunk.Observe(time.Since(t0)) }(time.Now())
+	}
 	end := t.frontier + smapMigrateChunk
 	if end > len(t.old) {
 		end = len(t.old)
@@ -273,6 +279,15 @@ func (m *smap) migrateChunk(ctx *core.OpCtx, t *stable) bool {
 // each chunk is its own transaction + deferral unit, so the map lock is
 // free between chunks. See ds.HashMap.migrateLoop.
 func (m *smap) migrateLoop(rt *stm.Runtime) {
+	if rt.Metrics() != nil {
+		pprof.Do(context.Background(), pprof.Labels("deferstm", "map-migrator"),
+			func(context.Context) { m.migrateChunks(rt) })
+		return
+	}
+	m.migrateChunks(rt)
+}
+
+func (m *smap) migrateChunks(rt *stm.Runtime) {
 	me := rt.NewOwner()
 	for {
 		migrating := false

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar package keeps one global variable namespace per process, so
+// the registry published under "deferstm" is whichever registry served
+// most recently — an atomic pointer lets tests (and a binary that builds
+// several runtimes) re-point it without tripping expvar's
+// panic-on-duplicate Publish.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Mux returns a debug mux for the registry:
+//
+//	/metrics       Prometheus text exposition
+//	/debug/vars    expvar JSON (cmdline, memstats, and this registry
+//	               under "deferstm" with histogram percentiles)
+//	/debug/pprof/  the standard pprof handlers (profile, heap, trace, …)
+//
+// Background goroutines the runtime labels (map-migrator, wal-leader,
+// deferred-op) are distinguishable in /debug/pprof/goroutine?debug=1.
+func (r *Registry) Mux() *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("deferstm", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot() // nil-safe: empty map
+		}))
+	})
+	expvarReg.Store(r)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the debug endpoint on addr (e.g. "127.0.0.1:9190", or
+// ":0" for an ephemeral port) and returns the bound address and a stop
+// function. The server runs until stop is called; Serve itself returns
+// immediately after the listener is bound, so callers can print the
+// address before the workload starts.
+func (r *Registry) Serve(addr string) (net.Addr, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: r.Mux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), func() { _ = srv.Close() }, nil
+}

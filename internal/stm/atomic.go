@@ -1,6 +1,9 @@
 package stm
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+)
 
 // Atomic executes fn as a transaction and blocks until it commits or fn
 // returns a non-nil error (which aborts the transaction and is returned).
@@ -43,6 +46,11 @@ func (rt *Runtime) AtomicSerialAs(owner OwnerID, fn func(tx *Tx) error) error {
 }
 
 func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) error {
+	met := rt.met.Load()
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+	}
 	tx := rt.txPool.Get().(*Tx)
 	tx.owner = owner
 	tx.attempts = 0
@@ -79,13 +87,27 @@ func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) e
 			tx.reset()
 			rt.txPool.Put(tx)
 			rt.stats.Commits.Add(1)
+			if met != nil {
+				// Commit latency stops here, before the deferred tail:
+				// the hooks are exactly the work the paper moved out of
+				// the caller-visible critical window.
+				met.TxLatency.Observe(time.Since(t0))
+				met.DeferDepth.Add(int64(len(hooks)))
+			}
 			// Injected stall in the commit→λ window: deferral locks are
 			// held but the deferred operations have not yet run.
 			if len(hooks) > 0 && rt.inj.stallPreHook() {
 				rt.stats.InjectedFaults.Add(1)
 			}
 			for _, h := range hooks {
-				h()
+				if met != nil {
+					h0 := time.Now()
+					h()
+					met.DeferExec.Observe(time.Since(h0))
+					met.DeferDepth.Add(-1)
+				} else {
+					h()
+				}
 			}
 			for _, f := range frees {
 				f()
@@ -110,6 +132,10 @@ func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) e
 			if tx.attempts >= rt.cfg.SerializeAfter {
 				serialNext = true
 				rt.stats.Serializations.Add(1)
+			} else if met != nil {
+				b0 := time.Now()
+				tx.backoff()
+				met.Backoff.Observe(time.Since(b0))
 			} else {
 				tx.backoff()
 			}

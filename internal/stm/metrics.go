@@ -1,0 +1,140 @@
+package stm
+
+import (
+	"strings"
+	"sync/atomic"
+
+	"deferstm/internal/obs"
+)
+
+// Metrics is the runtime's latency-distribution instrumentation: one
+// histogram or gauge per phase the paper's argument cares about — the
+// transaction's critical window, the deferred tail that was moved out of
+// it, and the quiesce/backoff stalls in between. The struct also carries
+// the instruments for the cooperating layers (core's deferral lock hold,
+// wal's group commit, ds/kv's resize migration): they live here for the
+// same reason the WAL counters live in Stats — every layer already
+// reaches the Runtime, so one attach point instruments the whole stack.
+//
+// All fields are nil-safe instruments: a Metrics built with a nil
+// registry records but exposes nothing, and a Runtime with no Metrics
+// attached pays exactly one atomic pointer load per transaction.
+type Metrics struct {
+	// TxLatency is the end-to-end latency of successful top-level
+	// Atomic calls: first attempt start → commit published (quiesce
+	// included, deferred hooks excluded — the paper's point is that
+	// the hooks are *not* part of the caller-visible critical window).
+	TxLatency *obs.Histogram
+	// Backoff is the time spent in contention-manager backoff between
+	// an abort and its re-execution.
+	Backoff *obs.Histogram
+	// QuiesceWait is the distribution of actual privatization waits
+	// (quiesce calls that found no pre-commit transaction running
+	// observe nothing, matching the Stats.QuiesceWaits counter).
+	QuiesceWait *obs.Histogram
+
+	// DeferDepth is the number of deferred operations enqueued by
+	// committed transactions and not yet finished executing.
+	DeferDepth *obs.Gauge
+	// DeferExec is the post-commit execution latency of one deferred
+	// operation (AfterCommit hook), measured at the hook pipeline.
+	DeferExec *obs.Histogram
+	// DeferLockHold is how long a deferral holds its transaction-
+	// friendly locks after commit: λ start → all locks released
+	// (measured by package core).
+	DeferLockHold *obs.Histogram
+
+	// WALAppendDurable is the append→durable lag of one WAL record:
+	// Append enqueued → covering fsync returned (measured by package
+	// wal; this is the latency PR 2's group commit trades for batching).
+	WALAppendDurable *obs.Histogram
+	// WALBatchWait is how long a group-commit batch waited for its
+	// flush: oldest enqueued record → flush start.
+	WALBatchWait *obs.Histogram
+
+	// ResizeChunk is the latency of one resize-migration chunk
+	// transaction in the transactional hashmaps (ds, kv).
+	ResizeChunk *obs.Histogram
+}
+
+// NewMetrics builds the full instrument set, registered on reg. A nil
+// registry is legal: the instruments still record (for StmResult
+// percentiles in internal/bench) but are exposed nowhere.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		TxLatency: reg.NewHistogram("deferstm_tx_latency_seconds",
+			"End-to-end latency of successful top-level transactions (quiesce included, deferred ops excluded)."),
+		Backoff: reg.NewHistogram("deferstm_tx_backoff_seconds",
+			"Contention-manager backoff between an abort and re-execution."),
+		QuiesceWait: reg.NewHistogram("deferstm_quiesce_wait_seconds",
+			"Privatization-safety waits that actually blocked (matches the QuiesceWaits counter)."),
+		DeferDepth: reg.NewGauge("deferstm_defer_queue_depth",
+			"Deferred operations enqueued by committed transactions and not yet finished."),
+		DeferExec: reg.NewHistogram("deferstm_defer_exec_seconds",
+			"Post-commit execution latency of one deferred operation."),
+		DeferLockHold: reg.NewHistogram("deferstm_defer_lock_hold_seconds",
+			"Time a deferred operation holds its transaction-friendly locks after commit."),
+		WALAppendDurable: reg.NewHistogram("deferstm_wal_append_durable_seconds",
+			"WAL append->durable lag per record (group commit batching delay plus fsync)."),
+		WALBatchWait: reg.NewHistogram("deferstm_wal_batch_wait_seconds",
+			"Group-commit batch wait: oldest enqueued record to flush start."),
+		ResizeChunk: reg.NewHistogram("deferstm_resize_chunk_seconds",
+			"Latency of one hashmap resize-migration chunk transaction."),
+	}
+}
+
+// SetMetrics attaches (or detaches, with nil) the metrics set. Safe to
+// call while transactions and background goroutines are running: the
+// pointer is read atomically at each instrumentation site, so a
+// benchmark can attach metrics to an already-warm runtime.
+func (rt *Runtime) SetMetrics(m *Metrics) { rt.met.Store(m) }
+
+// Metrics returns the attached metrics set, or nil. Cooperating
+// packages (core, wal, ds, kv) use this to reach their instruments.
+func (rt *Runtime) Metrics() *Metrics { return rt.met.Load() }
+
+// metricsPtr is the Runtime field type (kept out of stm.go's struct
+// literal noise).
+type metricsPtr = atomic.Pointer[Metrics]
+
+// RegisterStats exposes the runtime's monotonic counters as Prometheus
+// series on reg, reading each value on demand from snap. Taking a
+// snapshot function rather than a *Runtime lets callers that rebuild
+// runtimes per phase (cmd/kvbench) swap the underlying runtime behind a
+// stable set of series.
+func RegisterStats(reg *obs.Registry, snap func() StatsSnapshot) {
+	if reg == nil {
+		return
+	}
+	type series struct {
+		name string
+		get  func(StatsSnapshot) uint64
+	}
+	for _, sr := range []series{
+		{"deferstm_tx_starts_total", func(s StatsSnapshot) uint64 { return s.Starts }},
+		{"deferstm_tx_commits_total", func(s StatsSnapshot) uint64 { return s.Commits }},
+		{`deferstm_aborts_total{reason="conflict"}`, func(s StatsSnapshot) uint64 { return s.AbortsConflict }},
+		{`deferstm_aborts_total{reason="capacity"}`, func(s StatsSnapshot) uint64 { return s.AbortsCapacity }},
+		{`deferstm_aborts_total{reason="syscall"}`, func(s StatsSnapshot) uint64 { return s.AbortsSyscall }},
+		{`deferstm_aborts_total{reason="user"}`, func(s StatsSnapshot) uint64 { return s.UserAborts }},
+		{"deferstm_tx_retries_total", func(s StatsSnapshot) uint64 { return s.Retries }},
+		{"deferstm_tx_extensions_total", func(s StatsSnapshot) uint64 { return s.Extensions }},
+		{"deferstm_serializations_total", func(s StatsSnapshot) uint64 { return s.Serializations }},
+		{"deferstm_serial_runs_total", func(s StatsSnapshot) uint64 { return s.SerialRuns }},
+		{"deferstm_quiesce_waits_total", func(s StatsSnapshot) uint64 { return s.QuiesceWaits }},
+		{"deferstm_quiesce_wait_nanos_total", func(s StatsSnapshot) uint64 { return s.QuiesceNanos }},
+		{"deferstm_deferred_ops_total", func(s StatsSnapshot) uint64 { return s.DeferredOps }},
+		{"deferstm_deferred_frees_total", func(s StatsSnapshot) uint64 { return s.DeferredFrees }},
+		{"deferstm_injected_faults_total", func(s StatsSnapshot) uint64 { return s.InjectedFaults }},
+		{"deferstm_wal_records_total", func(s StatsSnapshot) uint64 { return s.WALRecords }},
+		{"deferstm_wal_flushes_total", func(s StatsSnapshot) uint64 { return s.WALFlushes }},
+		{"deferstm_wal_checkpoints_total", func(s StatsSnapshot) uint64 { return s.WALCheckpoints }},
+	} {
+		get := sr.get
+		help := "Runtime counter (see stm.StatsSnapshot)."
+		if strings.HasPrefix(sr.name, "deferstm_aborts_total") {
+			help = "Aborted transaction attempts by reason."
+		}
+		reg.Counter(sr.name, help, func() uint64 { return get(snap()) })
+	}
+}

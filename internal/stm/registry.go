@@ -118,10 +118,15 @@ func (rt *Runtime) quiesce(wv uint64, selfIdx int) {
 			waitSpin(&spins)
 		}
 	}
-	if len(pending) > 0 && !waited {
-		waited = true
-		start = time.Now()
+	if rt.quiesceTestHook != nil {
+		rt.quiesceTestHook()
 	}
+	// Re-poll the shrinking snapshot. A quiesce counts as a *wait* only
+	// once waitSpin actually runs: if every snapshotted slot has already
+	// finished by the first re-poll pass (k == 0 immediately), nothing
+	// blocked us and QuiesceWaits/QuiesceNanos must not move. The old
+	// code started the wait clock on any non-empty snapshot, over-
+	// counting exactly those free passes.
 	spins := 0
 	for len(pending) > 0 {
 		k := 0
@@ -133,12 +138,20 @@ func (rt *Runtime) quiesce(wv uint64, selfIdx int) {
 		}
 		pending = pending[:k]
 		if k > 0 {
+			if !waited {
+				waited = true
+				start = time.Now()
+			}
 			waitSpin(&spins)
 		}
 	}
 	if waited {
+		d := time.Since(start)
 		rt.stats.QuiesceWaits.Add(1)
-		rt.stats.QuiesceNanos.Add(uint64(time.Since(start).Nanoseconds()))
+		rt.stats.QuiesceNanos.Add(uint64(d.Nanoseconds()))
+		if met := rt.met.Load(); met != nil {
+			met.QuiesceWait.Observe(d)
+		}
 	}
 }
 

@@ -42,12 +42,17 @@ const (
 )
 
 // statShard holds one stripe of every counter. Shards are padded to a
-// 64-byte multiple so two shards never share a cache line; counters
-// within one shard may share lines, but one shard is (statistically)
-// written by one goroutine.
+// 64-byte multiple with at least one pad byte, so two shards never
+// share a cache line; counters within one shard may share lines, but
+// one shard is (statistically) written by one goroutine. The padding
+// expression deliberately yields a full line (64, not 0) when the
+// counter payload is itself an exact multiple of 64 bytes — the
+// previous `(64 - x%64) % 64` form collapsed to zero padding in that
+// case, making the last counter of one shard and the first counter of
+// the next share a line. See TestStatShardLayout.
 type statShard struct {
 	c [nStatCounters]atomic.Uint64
-	_ [(64 - (nStatCounters*8)%64) % 64]byte
+	_ [64 - (nStatCounters*8)%64]byte
 }
 
 // Counter is one striped runtime counter. It keeps the incrementing
@@ -124,8 +129,17 @@ type Stats struct {
 
 // init sizes the stripe array and wires every Counter field to its
 // slot. Called once from New, before the Runtime is shared.
+//
+// Stripes are sized from the machine's CPU count, not GOMAXPROCS:
+// hardware parallelism bounds how many increments can truly race, and
+// GOMAXPROCS is both mutable after New (a runtime built under
+// GOMAXPROCS(1) would keep 4 stripes forever) and routinely lowered by
+// benchmarks without any intent to shrink counter striping. The count
+// is floored at 4 and capped at 64 stripes: beyond 64, the per-read
+// merge cost (Snapshot sums every stripe) outgrows any contention
+// relief more CPUs could buy on pure counter increments.
 func (s *Stats) init() {
-	stripes := 2 * runtime.GOMAXPROCS(0)
+	stripes := 2 * runtime.NumCPU()
 	if stripes < 4 {
 		stripes = 4
 	}

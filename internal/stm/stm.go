@@ -192,6 +192,16 @@ type Runtime struct {
 	rec Recorder  // nil = recording disabled
 	inj *injector // nil = fault injection disabled
 
+	// met is the attached latency instrumentation (nil = disabled).
+	// Atomic because benchmarks attach metrics to warm runtimes whose
+	// background goroutines (map migrators, WAL leader) already read it.
+	met metricsPtr
+
+	// quiesceTestHook, when non-nil, runs between quiesce's snapshot
+	// pass and its re-poll loop, so tests can deterministically finish
+	// (or prolong) pending transactions in that window.
+	quiesceTestHook func()
+
 	txPool sync.Pool
 
 	stats Stats

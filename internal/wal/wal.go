@@ -35,14 +35,17 @@
 package wal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deferstm/internal/core"
 	"deferstm/internal/stm"
@@ -90,6 +93,7 @@ type Recovery struct {
 type pnode struct {
 	lsn     uint64
 	payload []byte
+	born    time.Time // enqueue time; zero unless metrics are attached
 	next    *pnode
 }
 
@@ -280,7 +284,13 @@ func (l *Log) Append(tx *stm.Tx, payload []byte) uint64 {
 	lsn := l.nextLSN.Get(tx)
 	l.nextLSN.Set(tx, lsn+1)
 	cp := append([]byte(nil), payload...)
-	l.pending.Set(tx, &pnode{lsn: lsn, payload: cp, next: l.pending.Get(tx)})
+	node := &pnode{lsn: lsn, payload: cp, next: l.pending.Get(tx)}
+	if l.rt.Metrics() != nil {
+		// Stamp the enqueue so the covering flush can observe the
+		// append→durable lag. Re-executions of an aborted tx restamp.
+		node.born = time.Now()
+	}
+	l.pending.Set(tx, node)
 	if l.rt.Recording() {
 		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALAppend, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn})
 	}
@@ -459,11 +469,43 @@ func (l *Log) drainAndFlush(ctx *core.OpCtx) {
 		batch[n] = Record{LSN: p.lsn, Payload: p.payload}
 	}
 
+	met := l.rt.Metrics()
+	var flushStart time.Time
+	if met != nil {
+		flushStart = time.Now()
+	}
 	l.fmu.Lock()
-	err := l.writeLocked(batch)
+	var err error
+	if met != nil {
+		// Label the I/O so profiles taken through the debug endpoint
+		// attribute fsync time to the group-commit leader.
+		pprof.Do(context.Background(), pprof.Labels("deferstm", "wal-flush"),
+			func(context.Context) { err = l.writeLocked(batch) })
+	} else {
+		err = l.writeLocked(batch)
+	}
 	l.fmu.Unlock()
 	if err != nil {
 		panic(fmt.Sprintf("wal: flush failed, log would lose committed records: %v", err))
+	}
+	if met != nil {
+		// Per-record append→durable lag, and how long the oldest record
+		// of this batch waited for the flush to even start (the pure
+		// group-commit batching delay, fsync excluded).
+		end := time.Now()
+		var oldest time.Time
+		for p := head; p != nil; p = p.next {
+			if p.born.IsZero() {
+				continue // enqueued before metrics were attached
+			}
+			if oldest.IsZero() || p.born.Before(oldest) {
+				oldest = p.born
+			}
+			met.WALAppendDurable.Observe(end.Sub(p.born))
+		}
+		if !oldest.IsZero() {
+			met.WALBatchWait.Observe(flushStart.Sub(oldest))
+		}
 	}
 
 	watermark := batch[len(batch)-1].LSN

@@ -27,6 +27,12 @@ go run ./cmd/stmtorture -duration 2s -threads 8 -mode htm -check -inject -seed 1
 echo "==> kv crash-recovery smoke (race detector, fixed seeds)"
 go test -race -count=1 -run 'TestCrashRecovery' ./internal/kv
 
+# The trace exporter and offline checkers both depend on the recorder's
+# ordering contract (per-tx monotone spans, enqueue→start→end for every
+# deferred op); assert it explicitly under the race detector.
+echo "==> recorder ordering + trace export property tests (race detector)"
+go test -race -count=1 -run 'TestRecorderEventOrdering|TestTraceWriterJSON' ./internal/history
+
 echo "==> kvbench acceptance (group commit must beat sync fsyncs/commit)"
 go run ./cmd/kvbench -threads 4,8 -ops 100 -latency pagecache -modes sync,group >/dev/null
 
@@ -45,5 +51,64 @@ go run ./cmd/stmbench -validate "$tmpjson"
 echo "==> stmbench scaling-suite smoke (quick, 2 threads)"
 go run ./cmd/stmbench -suite scaling -quick -maxthreads 2 -json "$tmpjson" >/dev/null
 go run ./cmd/stmbench -validate "$tmpjson"
+
+# Metrics-endpoint smoke: run kvbench with a live /metrics server and
+# scrape it mid-run. Every key family must be exposed: commit-latency
+# buckets, abort-reason counters, deferred-queue depth, and the WAL
+# append→durable lag histogram.
+echo "==> metrics endpoint smoke (kvbench -metrics + curl)"
+tmpmetrics="$(mktemp)"
+tmptrace="$(mktemp)"
+trap 'rm -f "$tmpjson" "$tmpmetrics" "$tmptrace"' EXIT
+go run ./cmd/kvbench -threads 2,4 -ops 800 -latency pagecache -modes group \
+    -metrics 127.0.0.1:9190 >/dev/null 2>&1 &
+kvpid=$!
+scraped=""
+for _ in $(seq 1 50); do
+    if curl -sf http://127.0.0.1:9190/metrics >"$tmpmetrics" 2>/dev/null; then
+        scraped=1
+        break
+    fi
+    sleep 0.1
+done
+wait "$kvpid"
+[ -n "$scraped" ] || { echo "metrics endpoint never came up"; exit 1; }
+for series in \
+    deferstm_tx_latency_seconds_bucket \
+    'deferstm_aborts_total{reason="conflict"}' \
+    deferstm_defer_queue_depth \
+    deferstm_wal_append_durable_seconds; do
+    grep -q "$series" "$tmpmetrics" || { echo "missing series: $series"; exit 1; }
+done
+
+# Same endpoint on stmtorture, scraping both the Prometheus text and the
+# expvar JSON views mid-run.
+echo "==> metrics endpoint smoke (stmtorture -metrics + curl /metrics + /debug/vars)"
+go run ./cmd/stmtorture -duration 4s -threads 4 -workload kvstore \
+    -metrics 127.0.0.1:9193 >/dev/null 2>&1 &
+torturepid=$!
+scraped=""
+for _ in $(seq 1 50); do
+    if curl -sf http://127.0.0.1:9193/metrics >"$tmpmetrics" 2>/dev/null; then
+        scraped=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -n "$scraped" ]; then
+    curl -sf http://127.0.0.1:9193/debug/vars | grep -q '"deferstm"' \
+        || { echo "expvar view missing deferstm"; kill "$torturepid" 2>/dev/null; exit 1; }
+fi
+wait "$torturepid"
+[ -n "$scraped" ] || { echo "stmtorture metrics endpoint never came up"; exit 1; }
+grep -q deferstm_quiesce_wait_seconds "$tmpmetrics" \
+    || { echo "missing series: deferstm_quiesce_wait_seconds"; exit 1; }
+
+# Trace-export smoke: a short defer workload must produce a well-formed
+# Chrome trace-event document while its history still checks clean.
+echo "==> trace export smoke (stmtorture -trace)"
+go run ./cmd/stmtorture -duration 300ms -threads 4 -workload defer -check \
+    -trace "$tmptrace" >/dev/null
+grep -q '"traceEvents"' "$tmptrace" || { echo "trace output malformed"; exit 1; }
 
 echo "CI green"
