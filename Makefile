@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-scaling bench-figs benchdiff trace
+.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-scaling bench-reactive bench-figs benchdiff trace
 
 all: build test
 
@@ -36,9 +36,16 @@ ci:
 	./scripts/ci.sh
 
 # STM hot-path benchmark suite (read-only / small-write / contended /
-# kv-group-commit), written to stm-bench.json for later benchdiff runs.
+# kv-group-commit) plus the reactive suite (blocked-reader wakeup
+# latency, watcher-vs-spin churn, queue handoff), written to
+# stm-bench.json / stm-bench-reactive.json for later benchdiff runs.
 bench:
 	$(GO) run ./cmd/stmbench -json stm-bench.json
+	$(GO) run ./cmd/stmbench -suite reactive -json stm-bench-reactive.json
+
+# The reactive suite alone (wakeup-latency ladder and churn ablation).
+bench-reactive:
+	$(GO) run ./cmd/stmbench -suite reactive -json stm-bench-reactive.json
 
 # Thread-scaling suite (map-read / map-write / resize-storm across the
 # 1..NumCPU ladder), written to stm-bench-scaling.json.

@@ -1,9 +1,12 @@
 // Command stmbench runs the STM benchmark suites and emits a JSON
 // document that future PRs diff against — the committed BENCH_*.json
-// trajectory files. Two suites exist: "hot" (read-only, small-write,
+// trajectory files. Three suites exist: "hot" (read-only, small-write,
 // contended-counter, kv-group-commit — per-transaction constant
-// factors) and "scaling" (map-read, map-write, resize-storm across a
-// 1..NumCPU thread ladder — throughput vs. thread count).
+// factors), "scaling" (map-read, map-write, resize-storm across a
+// 1..NumCPU thread ladder — throughput vs. thread count), and
+// "reactive" (blocked-reader wakeup-latency ladder, watcher-vs-spin
+// churn ablation, bounded-queue handoff — the watcher-based retry
+// path).
 //
 // Usage:
 //
@@ -43,8 +46,9 @@ func run(args []string) int {
 		quick      = fs.Bool("quick", false, "CI smoke mode: tiny target times")
 		label      = fs.String("label", "", "label recorded in the document (e.g. pr3-after)")
 		benchtime  = fs.Duration("benchtime", 0, "target wall time per workload (default 1s, 25ms with -quick)")
-		suite      = fs.String("suite", "hot", "which suite to run: hot|scaling|all")
+		suite      = fs.String("suite", "hot", "which suite to run: hot|scaling|reactive|all")
 		maxthreads = fs.Int("maxthreads", 0, "cap the scaling suite's thread ladder (0 = up to NumCPU)")
+		maxreaders = fs.Int("maxreaders", 0, "cap the reactive suite's blocked-reader ladder (0 = full ladder)")
 		metrics    = fs.String("metrics", "", "serve /metrics + /debug/pprof on this address while the suite runs (e.g. 127.0.0.1:9190)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,11 +98,14 @@ func run(args []string) int {
 		results = bench.RunStmSuite(stmOpts)
 	case "scaling":
 		results = bench.RunScalingSuite(bench.ScalingOptions{StmOptions: stmOpts, MaxThreads: *maxthreads})
+	case "reactive":
+		results = bench.RunReactiveSuite(bench.ReactiveOptions{StmOptions: stmOpts, MaxReaders: *maxreaders})
 	case "all":
 		results = bench.RunStmSuite(stmOpts)
 		results = append(results, bench.RunScalingSuite(bench.ScalingOptions{StmOptions: stmOpts, MaxThreads: *maxthreads})...)
+		results = append(results, bench.RunReactiveSuite(bench.ReactiveOptions{StmOptions: stmOpts, MaxReaders: *maxreaders})...)
 	default:
-		fmt.Fprintf(os.Stderr, "stmbench: unknown suite %q (want hot|scaling|all)\n", *suite)
+		fmt.Fprintf(os.Stderr, "stmbench: unknown suite %q (want hot|scaling|reactive|all)\n", *suite)
 		return 2
 	}
 	doc := bench.NewStmDoc(*label, commit, *quick, results)

@@ -14,6 +14,10 @@
 //   - kvstore: concurrent counters in the durable KV store (WAL group
 //     commit, checkpoints, durability waits); the live view must match
 //     per-thread tallies and a post-close recovery must reproduce it;
+//   - watcher: producers and consumers blocking on a bounded queue via
+//     watcher-based Retry (park on full/empty, wake on commit); every
+//     produced value must be consumed exactly once and in per-producer
+//     order, and no consumer may sleep through a wakeup;
 //   - selfcheck: deliberately reports one failure, so the harness's
 //     nonzero-exit path can itself be tested (not part of "all").
 //
@@ -23,7 +27,9 @@
 // durability axioms. With -inject,
 // seeded fault injection (-seed) drives the runtime onto adversarial
 // schedules: forced conflict and capacity aborts, delayed write-back,
-// and stalls inside quiescence and the commit→λ window.
+// stalls inside quiescence and the commit→λ window, and — for the
+// watcher workload — stalls in the register→park and publish→wake
+// windows of the retry protocol (the lost-wakeup races).
 //
 // Example:
 //
@@ -92,7 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		duration  = fs.Duration("duration", 5*time.Second, "run time per workload")
 		threads   = fs.Int("threads", 8, "concurrent worker goroutines")
-		workload  = fs.String("workload", "all", "bank|tree|defer|locks|kvstore|selfcheck|all")
+		workload  = fs.String("workload", "all", "bank|tree|defer|locks|kvstore|watcher|selfcheck|all")
 		mode      = fs.String("mode", "stm", "stm|htm")
 		seed      = fs.Uint64("seed", 1, "base seed for worker RNGs and fault injection")
 		checkHist = fs.Bool("check", false, "record the full event history and verify serializability, opacity, deferral atomicity and 2PL")
@@ -116,13 +122,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *inject {
 		cfg.Inject = &stm.Inject{
-			Seed:              *seed,
-			ConflictPct:       15,
-			CapacityPct:       2,
-			WriteBackDelayPct: 5,
-			QuiesceStallPct:   5,
-			PreHookStallPct:   15,
-			StallSpins:        512,
+			Seed:                  *seed,
+			ConflictPct:           15,
+			CapacityPct:           2,
+			WriteBackDelayPct:     5,
+			QuiesceStallPct:       5,
+			PreHookStallPct:       15,
+			RetryRegisterStallPct: 20,
+			WakeDelayPct:          20,
+			StallSpins:            512,
 		}
 	}
 	ops := *maxOps
@@ -164,9 +172,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"defer":     tortureDefer,
 		"locks":     tortureLocks,
 		"kvstore":   tortureKVStore,
+		"watcher":   tortureWatcher,
 		"selfcheck": tortureSelfcheck,
 	}
-	order := []string{"bank", "tree", "defer", "locks", "kvstore"} // selfcheck is opt-in
+	order := []string{"bank", "tree", "defer", "locks", "kvstore", "watcher"} // selfcheck is opt-in
 
 	var total int64
 	ran := 0
@@ -539,6 +548,125 @@ func tortureKVStore(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
 	}
 	if err := s2.Close(); err != nil {
 		h.failf("kvstore: recovered close: %v", err)
+	}
+}
+
+// tortureWatcher hammers the watcher-based Retry path: half the threads
+// produce into a deliberately tiny bounded queue (parking on full), half
+// consume from it (parking on empty), so every operation crosses the
+// register→validate→park→wake protocol. Values encode producer<<32|seq.
+// When producers finish they raise a transactional closed flag; consumers
+// drain the backlog and exit on closed+empty. Invariants: every produced
+// value is consumed exactly once (conservation), and each consumer sees
+// any one producer's values in strictly increasing seq order (the queue
+// is FIFO and each value is taken once). A lost wakeup shows up as the
+// run hanging until -duration expires with values still in the queue —
+// caught by the conservation check; under -check the recorded
+// EvWatchRegister/EvWake history is additionally verified against the
+// retry-wakeup rule.
+func tortureWatcher(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
+	producers := threads / 2
+	if producers == 0 {
+		producers = 1
+	}
+	consumers := threads - producers
+	if consumers == 0 {
+		consumers = 1
+	}
+	q := ds.NewBoundedQueue[uint64](4) // tiny: force parking on both ends
+	closed := stm.NewVar(false)
+	stop := time.Now().Add(d)
+
+	produced := make([]uint64, producers) // values emitted by each producer
+	type consumed struct {
+		count   int64
+		sum     uint64
+		lastSeq []int64 // per-producer last seq this consumer took
+	}
+	got := make([]consumed, consumers)
+
+	var prodWG, consWG sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prodWG.Add(1)
+		go func(pid int) {
+			defer prodWG.Done()
+			for seq := int64(0); time.Now().Before(stop) && (h.maxOps == 0 || seq < h.maxOps); seq++ {
+				v := uint64(pid)<<32 | uint64(seq)
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					q.Put(tx, v) // parks via Retry when full
+					return nil
+				})
+				produced[pid]++
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		consWG.Add(1)
+		go func(cid int) {
+			defer consWG.Done()
+			got[cid].lastSeq = make([]int64, producers)
+			for i := range got[cid].lastSeq {
+				got[cid].lastSeq[i] = -1
+			}
+			for {
+				var v uint64
+				done := false
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					var ok bool
+					if v, ok = q.TryTake(tx); ok {
+						done = false
+						return nil
+					}
+					if closed.Get(tx) {
+						done = true
+						return nil
+					}
+					tx.Retry() // parks until a Put or Close commits
+					return nil
+				})
+				if done {
+					return
+				}
+				pid, seq := int(v>>32), int64(v&0xffffffff)
+				if pid >= producers {
+					h.failf("watcher: consumed value from impossible producer %d", pid)
+					return
+				}
+				if seq <= got[cid].lastSeq[pid] {
+					h.failf("watcher: consumer %d saw producer %d seq %d after %d (FIFO order violated)",
+						cid, pid, seq, got[cid].lastSeq[pid])
+				}
+				got[cid].lastSeq[pid] = seq
+				got[cid].count++
+				got[cid].sum += v
+			}
+		}(c)
+	}
+
+	prodWG.Wait()
+	// Raising the flag is itself a commit, so it wakes consumers parked
+	// on an empty queue; they drain any backlog and exit.
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		closed.Set(tx, true)
+		return nil
+	})
+	consWG.Wait()
+
+	var wantCount, wantSum uint64
+	for pid, n := range produced {
+		wantCount += n
+		for seq := uint64(0); seq < n; seq++ {
+			wantSum += uint64(pid)<<32 | seq
+		}
+	}
+	var gotCount, gotSum uint64
+	for _, c := range got {
+		gotCount += uint64(c.count)
+		gotSum += c.sum
+	}
+	if gotCount != wantCount || gotSum != wantSum {
+		h.failf("watcher: consumed %d values (sum %d), want %d (sum %d) — lost or duplicated handoff",
+			gotCount, gotSum, wantCount, wantSum)
 	}
 }
 

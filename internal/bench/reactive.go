@@ -1,0 +1,213 @@
+// Reactive-suite workloads behind `stmbench -suite reactive`: where the
+// hot and scaling suites measure transactions that always have work, this
+// file measures transactions that *wait* — the watcher-based retry path.
+// Three workload families:
+//
+//   - wakeup/<r>:  r blocked readers park on a counter while one writer
+//     increments it; each commit broadcasts to every parked reader. The
+//     wake_p99_ns column is the blocked-reader wakeup-latency ladder —
+//     the number a networked front end's tail latency inherits.
+//   - blocked-churn-{watch,spin}/16: 16 readers block on a var that
+//     never changes while a writer hammers an unrelated var. The starts
+//     counter is the CPU-churn proxy: parked watchers re-execute ~never,
+//     the SpinRetry opt-out re-executes continuously. The pair is the
+//     paper-style ablation behind the ≥10x acceptance ratio (asserted
+//     in internal/stm's regression test; reported here for trajectories).
+//   - queue-handoff/4: producer/consumer pairs over a BoundedQueue,
+//     blocking on both full and empty — the reactive kit's bread and
+//     butter, measured end to end.
+package bench
+
+import (
+	"fmt"
+	"sync"
+
+	"deferstm/internal/ds"
+	"deferstm/internal/stm"
+)
+
+// ReactiveOptions configures a reactive-suite run.
+type ReactiveOptions struct {
+	StmOptions
+	// MaxReaders caps the blocked-reader ladder (CI smoke uses 4).
+	// 0 means the full ladder (1, 4, 16).
+	MaxReaders int
+}
+
+// RunReactiveSuite executes the reactive workloads and returns one
+// result per (workload, readers) pair.
+func RunReactiveSuite(opts ReactiveOptions) []StmResult {
+	ladder := []int{1, 4, 16}
+	var out []StmResult
+	logf := func(format string, args ...any) {
+		if opts.Logf != nil {
+			opts.Logf(format, args...)
+		}
+	}
+	for _, readers := range ladder {
+		if opts.MaxReaders > 0 && readers > opts.MaxReaders {
+			continue
+		}
+		w := stmWorkload{
+			name:    fmtName("wakeup", readers),
+			threads: readers + 1,
+			setup:   func(int) (*stm.Runtime, func(uint64)) { return setupWakeup(readers) },
+		}
+		r := measureStm(w, opts.StmOptions)
+		logf("%-22s threads=%-2d %10.1f ns/op parks=%d wakes=%d wake_p99=%.0fns",
+			r.Name, r.Threads, r.NsPerOp, r.RetryParks, r.RetryWakes, r.WakeP99Ns)
+		out = append(out, r)
+	}
+
+	churnReaders := 16
+	if opts.MaxReaders > 0 && churnReaders > opts.MaxReaders {
+		churnReaders = opts.MaxReaders
+	}
+	var watch, spin StmResult
+	for _, mode := range []struct {
+		name string
+		spin bool
+	}{{"blocked-churn-watch", false}, {"blocked-churn-spin", true}} {
+		mode := mode
+		w := stmWorkload{
+			name:    fmtName(mode.name, churnReaders),
+			threads: churnReaders + 1,
+			setup: func(int) (*stm.Runtime, func(uint64)) {
+				return setupBlockedChurn(churnReaders, mode.spin)
+			},
+		}
+		r := measureStm(w, opts.StmOptions)
+		logf("%-22s threads=%-2d %10.1f ns/op starts=%d (churn proxy)",
+			r.Name, r.Threads, r.NsPerOp, r.Starts)
+		if mode.spin {
+			spin = r
+		} else {
+			watch = r
+		}
+		out = append(out, r)
+	}
+	if watch.N > 0 && spin.N > 0 && watch.Starts > 0 {
+		// Per-op churn, because the two runs calibrate to different N.
+		wps := float64(watch.Starts) / float64(watch.N)
+		sps := float64(spin.Starts) / float64(spin.N)
+		logf("blocked-reader churn ratio (spin/watch, starts per op): %.1fx", sps/wps)
+	}
+
+	qw := stmWorkload{
+		name:    "queue-handoff/4",
+		threads: 4,
+		setup:   setupQueueHandoff,
+	}
+	r := measureStm(qw, opts.StmOptions)
+	logf("%-22s threads=%-2d %10.1f ns/op parks=%d wakes=%d",
+		r.Name, r.Threads, r.NsPerOp, r.RetryParks, r.RetryWakes)
+	out = append(out, r)
+	return out
+}
+
+func fmtName(base string, n int) string {
+	return fmt.Sprintf("%s/%d", base, n)
+}
+
+// setupWakeup: one writer increments a counter n times; `readers`
+// goroutines each chase the counter, parking between commits, until it
+// reaches the session's target. Every writer commit broadcasts to all
+// currently parked readers.
+func setupWakeup(readers int) (*stm.Runtime, func(uint64)) {
+	rt := stm.NewDefault()
+	v := stm.NewVar(uint64(0))
+	return rt, func(n uint64) {
+		start := v.Load()
+		target := start + n
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				seen := start
+				for seen < target {
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						cur := v.Get(tx)
+						if cur <= seen {
+							tx.Retry()
+						}
+						seen = cur
+						return nil
+					})
+				}
+			}()
+		}
+		for i := uint64(0); i < n; i++ {
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				v.Set(tx, v.Get(tx)+1)
+				return nil
+			})
+		}
+		wg.Wait()
+	}
+}
+
+// setupBlockedChurn: `readers` goroutines block on a var the writer
+// never touches while the writer commits n times to an unrelated var.
+// With watchers the blocked readers cost nothing; with SpinRetry they
+// re-execute for the whole run. The per-op starts delta is the ratio
+// the acceptance criterion gates on.
+func setupBlockedChurn(readers int, spinRetry bool) (*stm.Runtime, func(uint64)) {
+	rt := stm.New(stm.Config{SpinRetry: spinRetry})
+	gate := stm.NewVar(uint64(0))
+	busy := stm.NewVar(uint64(0))
+	return rt, func(n uint64) {
+		base := gate.Load()
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = rt.Atomic(func(tx *stm.Tx) error {
+					if gate.Get(tx) == base {
+						tx.Retry()
+					}
+					return nil
+				})
+			}()
+		}
+		for i := uint64(0); i < n; i++ {
+			_ = rt.Atomic(func(tx *stm.Tx) error {
+				busy.Set(tx, busy.Get(tx)+1)
+				return nil
+			})
+		}
+		// Release the blocked readers and drain them.
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			gate.Set(tx, base+1)
+			return nil
+		})
+		wg.Wait()
+	}
+}
+
+// setupQueueHandoff: two producer/consumer pairs over one small bounded
+// queue; producers block on full, consumers on empty.
+func setupQueueHandoff(threads int) (*stm.Runtime, func(uint64)) {
+	rt := stm.NewDefault()
+	q := ds.NewBoundedQueue[uint64](64)
+	return rt, func(n uint64) {
+		runParallel(threads, n, func(g int, per uint64) {
+			if g%2 == 0 {
+				for i := uint64(0); i < per; i++ {
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						q.Put(tx, i)
+						return nil
+					})
+				}
+			} else {
+				for i := uint64(0); i < per; i++ {
+					_ = rt.Atomic(func(tx *stm.Tx) error {
+						q.Take(tx)
+						return nil
+					})
+				}
+			}
+		})
+	}
+}

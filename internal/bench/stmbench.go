@@ -44,6 +44,13 @@ type StmResult struct {
 	WALRecords    uint64  `json:"wal_records,omitempty"`
 	WALFlushes    uint64  `json:"wal_flushes,omitempty"`
 
+	// Watcher-based retry counters (reactive suite): Starts is the total
+	// attempt count — for blocked-reader workloads it is the CPU-churn
+	// proxy the watcher-vs-spin acceptance ratio is computed from.
+	Starts     uint64 `json:"starts,omitempty"`
+	RetryParks uint64 `json:"retry_parks,omitempty"`
+	RetryWakes uint64 `json:"retry_wakes,omitempty"`
+
 	// Tail latency of the measured run's successful transactions, from
 	// the runtime's log2-bucketed commit-latency histogram: upper bounds
 	// tight to within one bucket (a factor of two), with the exact max.
@@ -53,6 +60,13 @@ type StmResult struct {
 	TxP90Ns float64 `json:"tx_p90_ns,omitempty"`
 	TxP99Ns float64 `json:"tx_p99_ns,omitempty"`
 	TxMaxNs float64 `json:"tx_max_ns,omitempty"`
+
+	// Wakeup propagation latency (waking commit's broadcast → parked
+	// transaction running again), from the runtime's wake-latency
+	// histogram. Present only for workloads that actually parked.
+	WakeP50Ns float64 `json:"wake_p50_ns,omitempty"`
+	WakeP99Ns float64 `json:"wake_p99_ns,omitempty"`
+	WakeMaxNs float64 `json:"wake_max_ns,omitempty"`
 }
 
 // StmDoc is the JSON document cmd/stmbench emits: one machine, one
@@ -175,11 +189,13 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		before  stm.StatsSnapshot
 		delta   stm.StatsSnapshot
 		lat     obs.HistSnapshot
+		wake    obs.HistSnapshot
 	)
 	for {
 		var msBefore, msAfter runtime.MemStats
 		before = rt.Snapshot()
 		latBefore := met.TxLatency.Snapshot()
+		wakeBefore := met.WakeLatency.Snapshot()
 		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		run(n)
@@ -187,6 +203,7 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		runtime.ReadMemStats(&msAfter)
 		delta = rt.Snapshot().Delta(before)
 		lat = met.TxLatency.Snapshot().Delta(latBefore)
+		wake = met.WakeLatency.Snapshot().Delta(wakeBefore)
 		mallocs = msAfter.Mallocs - msBefore.Mallocs
 		bytes = msAfter.TotalAlloc - msBefore.TotalAlloc
 		limit := uint64(1 << 28)
@@ -224,6 +241,9 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		QuiesceNanos: delta.QuiesceNanos,
 		WALRecords:   delta.WALRecords,
 		WALFlushes:   delta.WALFlushes,
+		Starts:       delta.Starts,
+		RetryParks:   delta.RetryParks,
+		RetryWakes:   delta.RetryWakes,
 	}
 	if elapsed > 0 {
 		r.CommitsPerSec = float64(delta.Commits) / elapsed.Seconds()
@@ -233,6 +253,11 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		r.TxP90Ns = lat.Quantile(0.90)
 		r.TxP99Ns = lat.Quantile(0.99)
 		r.TxMaxNs = float64(lat.Max)
+	}
+	if wake.Count > 0 {
+		r.WakeP50Ns = wake.Quantile(0.50)
+		r.WakeP99Ns = wake.Quantile(0.99)
+		r.WakeMaxNs = float64(wake.Max)
 	}
 	return r
 }

@@ -45,7 +45,8 @@ const (
 	RuleOpacity         = "opacity"
 	RuleDeferral        = "deferral-atomicity"
 	RuleTwoPhase        = "two-phase-locking"
-	// RuleDurability is declared in durability.go.
+	// RuleDurability is declared in durability.go; RuleRetryWake in
+	// retry.go.
 )
 
 // Violation is one property failure found in a history.
@@ -70,6 +71,8 @@ type Report struct {
 	DeferOps   int
 	WALAppends int
 	WALAcks    int
+	WatchRegs  int
+	Wakes      int
 }
 
 // OK reports whether no property was violated.
@@ -81,6 +84,9 @@ func (r *Report) String() string {
 		r.Commits, r.Aborts, r.Reads, r.Writes, r.DeferOps)
 	if r.WALAppends > 0 || r.WALAcks > 0 {
 		fmt.Fprintf(&b, ", %d WAL appends, %d durability acks", r.WALAppends, r.WALAcks)
+	}
+	if r.WatchRegs > 0 || r.Wakes > 0 {
+		fmt.Fprintf(&b, ", %d watch registrations, %d wakes", r.WatchRegs, r.Wakes)
 	}
 	b.WriteString(": ")
 	if r.OK() {
@@ -118,11 +124,18 @@ func History(events []stm.Event) *Report {
 	for _, acks := range p.walDurables {
 		r.WALAcks += len(acks)
 	}
+	for _, regs := range p.watchRegs {
+		r.WatchRegs += len(regs)
+	}
+	for _, wakes := range p.wakes {
+		r.Wakes += len(wakes)
+	}
 	r.Violations = append(r.Violations, checkSerializability(p)...)
 	r.Violations = append(r.Violations, checkOpacity(p)...)
 	r.Violations = append(r.Violations, checkDeferral(p)...)
 	r.Violations = append(r.Violations, checkTwoPhase(p)...)
 	r.Violations = append(r.Violations, checkDurability(p)...)
+	r.Violations = append(r.Violations, checkRetryWake(p)...)
 	return r
 }
 
@@ -177,6 +190,9 @@ type parsed struct {
 	walAppends  map[uint64][]walAppend // log lock var -> committed appends
 	walDurables map[uint64][]walDurable
 
+	watchRegs map[uint64][]watchReg // retrying txID -> its registrations
+	wakes     map[uint64][]wakeRec  // retrying txID -> its wake events
+
 	commits, aborts, reads, writeCount int
 }
 
@@ -191,6 +207,8 @@ func parse(events []stm.Event) *parsed {
 		units:       make(map[uint64]*deferUnit),
 		walAppends:  make(map[uint64][]walAppend),
 		walDurables: make(map[uint64][]walDurable),
+		watchRegs:   make(map[uint64][]watchReg),
+		wakes:       make(map[uint64][]wakeRec),
 	}
 	tx := func(id uint64, owner stm.OwnerID) *txInfo {
 		t, ok := p.txs[id]
@@ -279,6 +297,12 @@ func parse(events []stm.Event) *parsed {
 		case stm.EvWALDurable:
 			p.walDurables[ev.Var] = append(p.walDurables[ev.Var],
 				walDurable{watermark: ev.Aux, seq: seq})
+		case stm.EvWatchRegister:
+			p.watchRegs[ev.TxID] = append(p.watchRegs[ev.TxID],
+				watchReg{varID: ev.Var, ver: ev.Ver, seq: seq})
+		case stm.EvWake:
+			p.wakes[ev.TxID] = append(p.wakes[ev.TxID],
+				wakeRec{ver: ev.Ver, cause: ev.Aux, seq: seq})
 		}
 	}
 	for _, vs := range p.writes {

@@ -1,0 +1,110 @@
+package check
+
+import "fmt"
+
+// RuleRetryWake is the watcher-based-retry property (see
+// internal/stm/watch.go): a blocked Retry registers on every var of its
+// read set (EvWatchRegister, one per var, carrying the version it
+// observed there) and resumes exactly once (EvWake, carrying the global
+// clock at resume time and an AuxWake* cause). The checker verifies:
+//
+//   - ordering: every wake follows at least one registration of the
+//     same park session, and each session wakes at most once;
+//   - attributable wakeups: a session woken from park by a commit
+//     (AuxWakeCommit) must have a recorded write to some watched var
+//     with a version no newer than the wake clock — wakes only
+//     originate from commits that wrote a watched var. The write may
+//     be *older* than the registered version: a committer wakes its
+//     watchers after publishing, and a waiter that registered inside
+//     that window receives a stale (harmless — it revalidates and
+//     re-parks) broadcast. Immediate and cancelled wakes need no
+//     writer;
+//   - no lost wakeups: a session that registered and never woke, even
+//     though some watched var was overwritten strictly after the
+//     version it registered at, is a waiter sleeping through its
+//     wakeup. (A session with no qualifying write may legitimately
+//     still be parked when the history ends; tests must drain waiters
+//     before collecting the log.)
+const RuleRetryWake = "retry-wakeup"
+
+type watchReg struct {
+	varID uint64
+	ver   uint64 // version the aborted attempt observed (unlocked word)
+	seq   uint64
+}
+
+type wakeRec struct {
+	ver   uint64 // global clock at resume
+	cause uint64 // stm.AuxWake*
+	seq   uint64
+}
+
+// Mirrors of the stm.AuxWake* constants (kept literal so hand-written
+// histories in tests read naturally).
+const (
+	auxWakeCommit    = 0
+	auxWakeImmediate = 1
+	auxWakeCancel    = 2
+)
+
+func checkRetryWake(p *parsed) []Violation {
+	var out []Violation
+	for txID, wakes := range p.wakes {
+		regs := p.watchRegs[txID]
+		if len(regs) == 0 {
+			out = append(out, Violation{
+				Rule: RuleRetryWake, TxID: txID, Seq: wakes[0].seq,
+				Msg: "wake recorded for a session with no watcher registration",
+			})
+			continue
+		}
+		if len(wakes) > 1 {
+			out = append(out, Violation{
+				Rule: RuleRetryWake, TxID: txID, Seq: wakes[1].seq,
+				Msg: fmt.Sprintf("session woke %d times; a park session resumes exactly once", len(wakes)),
+			})
+		}
+		w := wakes[0]
+		for _, r := range regs {
+			if r.seq > w.seq {
+				out = append(out, Violation{
+					Rule: RuleRetryWake, TxID: txID, Seq: r.seq,
+					Msg: fmt.Sprintf("watcher registration on var %d after the session's wake", r.varID),
+				})
+			}
+		}
+		if w.cause != auxWakeCommit {
+			continue // immediate re-check and cancellation need no writer
+		}
+		justified := false
+		for _, r := range regs {
+			if _, ok := p.writeIn(r.varID, 0, w.ver, true); ok {
+				justified = true
+				break
+			}
+		}
+		if !justified {
+			out = append(out, Violation{
+				Rule: RuleRetryWake, TxID: txID, Seq: w.seq,
+				Msg: fmt.Sprintf("woken from park at clock %d but no watched var was ever written — wake attributable to no commit", w.ver),
+			})
+		}
+	}
+	// Lost wakeups: registered, never woke, yet a watched var was
+	// overwritten past the registered version.
+	for txID, regs := range p.watchRegs {
+		if len(p.wakes[txID]) != 0 {
+			continue
+		}
+		for _, r := range regs {
+			if w, ok := p.writeIn(r.varID, r.ver, ^uint64(0), true); ok {
+				out = append(out, Violation{
+					Rule: RuleRetryWake, TxID: txID, Seq: r.seq,
+					Msg: fmt.Sprintf("lost wakeup: session registered on var %d at version %d, var was overwritten at version %d, but the session never woke", r.varID, r.ver, w),
+				})
+				break
+			}
+		}
+	}
+	return out
+}

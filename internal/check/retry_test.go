@@ -1,0 +1,162 @@
+package check
+
+import (
+	"testing"
+
+	"deferstm/internal/stm"
+)
+
+// parkSession emits the event shape the runtime records for a park: an
+// attempt that reads, aborts with Retry, registers on its read set.
+func parkSession(txID uint64, owner stm.OwnerID, varID, ver uint64) []stm.Event {
+	return []stm.Event{
+		ev(stm.EvBegin, txID, owner, 0, 0, 0),
+		ev(stm.EvRead, txID, owner, varID, ver, 0),
+		ev(stm.EvAbort, txID, owner, 0, 0, stm.AbortCauseRetry),
+		ev(stm.EvWatchRegister, txID, owner, varID, ver, 0),
+	}
+}
+
+// commitWrite emits a committed transaction writing varID at ver.
+func commitWrite(txID uint64, owner stm.OwnerID, varID, ver uint64) []stm.Event {
+	return []stm.Event{
+		ev(stm.EvBegin, txID, owner, 0, 0, 0),
+		ev(stm.EvWrite, txID, owner, varID, ver, 0),
+		ev(stm.EvCommit, txID, owner, 0, ver, 0),
+	}
+}
+
+func cat(groups ...[]stm.Event) []stm.Event {
+	var h []stm.Event
+	for _, g := range groups {
+		h = append(h, g...)
+	}
+	return h
+}
+
+// The canonical good history: park on x@0, a commit writes x@1, the
+// session wakes with the commit cause.
+func TestRetryWakeAccepted(t *testing.T) {
+	h := cat(
+		parkSession(1, 1, 10, 0),
+		commitWrite(2, 2, 10, 1),
+		[]stm.Event{ev(stm.EvWake, 1, 1, 0, 1, stm.AuxWakeCommit)},
+	)
+	r := History(h)
+	if !r.OK() {
+		t.Fatalf("good park/wake history rejected: %s", r)
+	}
+	if r.WatchRegs != 1 || r.Wakes != 1 {
+		t.Fatalf("regs=%d wakes=%d, want 1/1", r.WatchRegs, r.Wakes)
+	}
+}
+
+// An immediate wake (validation failed, never parked) needs no writer.
+func TestRetryWakeImmediateAccepted(t *testing.T) {
+	h := cat(
+		parkSession(1, 1, 10, 0),
+		[]stm.Event{ev(stm.EvWake, 1, 1, 0, 0, stm.AuxWakeImmediate)},
+	)
+	if r := History(h); !r.OK() {
+		t.Fatalf("immediate wake rejected: %s", r)
+	}
+}
+
+// A cancellation wake needs no writer either.
+func TestRetryWakeCancelAccepted(t *testing.T) {
+	h := cat(
+		parkSession(1, 1, 10, 0),
+		[]stm.Event{ev(stm.EvWake, 1, 1, 0, 0, stm.AuxWakeCancel)},
+	)
+	if r := History(h); !r.OK() {
+		t.Fatalf("cancel wake rejected: %s", r)
+	}
+}
+
+// A session still parked when the history ends is fine as long as no
+// watched var moved past its registered version.
+func TestRetryStillParkedAccepted(t *testing.T) {
+	h := cat(
+		commitWrite(1, 1, 10, 1),
+		parkSession(2, 2, 10, 1), // parked on the current version; no wake yet
+	)
+	if r := History(h); !r.OK() {
+		t.Fatalf("legitimately-parked session rejected: %s", r)
+	}
+}
+
+// A stale wake is legal: the committer that produced the registered
+// version broadcast after the waiter registered. The write (x@1)
+// precedes the registration version-wise, yet the wake is attributable.
+func TestRetryStaleWakeAccepted(t *testing.T) {
+	h := cat(
+		commitWrite(1, 1, 10, 1),
+		parkSession(2, 2, 10, 1),
+		[]stm.Event{ev(stm.EvWake, 2, 2, 0, 1, stm.AuxWakeCommit)},
+	)
+	if r := History(h); !r.OK() {
+		t.Fatalf("benign stale wake rejected: %s", r)
+	}
+}
+
+// Reject: a lost wakeup. The session registered on x@0, x was
+// overwritten at 1, and the session never woke.
+func TestRetryRejectsLostWakeup(t *testing.T) {
+	h := cat(
+		parkSession(1, 1, 10, 0),
+		commitWrite(2, 2, 10, 1),
+		// no EvWake for tx 1
+	)
+	wantRule(t, History(h), RuleRetryWake)
+}
+
+// Reject: a wake for a session that never registered anywhere.
+func TestRetryRejectsWakeWithoutRegistration(t *testing.T) {
+	h := cat(
+		commitWrite(1, 1, 10, 1),
+		[]stm.Event{
+			ev(stm.EvBegin, 2, 2, 0, 0, 0),
+			ev(stm.EvRead, 2, 2, 10, 1, 0),
+			ev(stm.EvAbort, 2, 2, 0, 0, stm.AbortCauseRetry),
+			ev(stm.EvWake, 2, 2, 0, 1, stm.AuxWakeCommit),
+		},
+	)
+	wantRule(t, History(h), RuleRetryWake)
+}
+
+// Reject: one park session waking twice.
+func TestRetryRejectsDoubleWake(t *testing.T) {
+	h := cat(
+		parkSession(1, 1, 10, 0),
+		commitWrite(2, 2, 10, 1),
+		[]stm.Event{
+			ev(stm.EvWake, 1, 1, 0, 1, stm.AuxWakeCommit),
+			ev(stm.EvWake, 1, 1, 0, 1, stm.AuxWakeCommit),
+		},
+	)
+	wantRule(t, History(h), RuleRetryWake)
+}
+
+// Reject: a registration recorded after the session's wake.
+func TestRetryRejectsRegistrationAfterWake(t *testing.T) {
+	h := cat(
+		parkSession(1, 1, 10, 0),
+		commitWrite(2, 2, 10, 1),
+		[]stm.Event{
+			ev(stm.EvWake, 1, 1, 0, 1, stm.AuxWakeCommit),
+			ev(stm.EvWatchRegister, 1, 1, 11, 0, 0),
+		},
+	)
+	wantRule(t, History(h), RuleRetryWake)
+}
+
+// Reject: a commit-cause wake with no watched var ever written — the
+// wake is attributable to no commit at all.
+func TestRetryRejectsUnattributableWake(t *testing.T) {
+	h := cat(
+		parkSession(1, 1, 10, 0),
+		commitWrite(2, 2, 99, 1), // writes an unrelated var only
+		[]stm.Event{ev(stm.EvWake, 1, 1, 0, 1, stm.AuxWakeCommit)},
+	)
+	wantRule(t, History(h), RuleRetryWake)
+}

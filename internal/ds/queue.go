@@ -1,6 +1,8 @@
 package ds
 
 import (
+	"context"
+
 	"deferstm/internal/stm"
 )
 
@@ -65,6 +67,19 @@ func (q *Queue[T]) Take(tx *stm.Tx) T {
 
 // Len reports the queue length.
 func (q *Queue[T]) Len(tx *stm.Tx) int { return q.size.Get(tx) }
+
+// TakeCtx runs its own transaction that blocks (parked on watchers,
+// consuming no CPU) until an element is available or ctx ends, in which
+// case it returns ctx.Err(). Use Take to block inside an existing
+// transaction; TakeCtx is the top-level consumer entry point.
+func (q *Queue[T]) TakeCtx(ctx context.Context, rt *stm.Runtime) (T, error) {
+	var v T
+	err := rt.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		v = q.Take(tx)
+		return nil
+	})
+	return v, err
+}
 
 // BoundedQueue is a fixed-capacity transactional FIFO ring. Put retries
 // while full; Take retries while empty. It is the data structure behind
@@ -131,4 +146,27 @@ func (q *BoundedQueue[T]) Take(tx *stm.Tx) T {
 		tx.Retry()
 	}
 	return v
+}
+
+// PutCtx runs its own transaction that blocks (parked on watchers)
+// while the queue is full, until the put succeeds or ctx ends, in which
+// case it returns ctx.Err(). Use Put to block inside an existing
+// transaction; PutCtx is the top-level producer entry point.
+func (q *BoundedQueue[T]) PutCtx(ctx context.Context, rt *stm.Runtime, v T) error {
+	return rt.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		q.Put(tx, v)
+		return nil
+	})
+}
+
+// TakeCtx runs its own transaction that blocks while the queue is
+// empty, until an element arrives or ctx ends, in which case it returns
+// ctx.Err().
+func (q *BoundedQueue[T]) TakeCtx(ctx context.Context, rt *stm.Runtime) (T, error) {
+	var v T
+	err := rt.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		v = q.Take(tx)
+		return nil
+	})
+	return v, err
 }

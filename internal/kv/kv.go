@@ -23,6 +23,7 @@
 package kv
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -240,6 +241,17 @@ func (s *Store) WaitDurable(lsn uint64) {
 		return
 	}
 	s.log.WaitDurable(lsn)
+}
+
+// WaitDurableCtx is WaitDurable with cancellation and deadline support:
+// it returns ctx.Err() if ctx ends before lsn is durable (the record may
+// still become durable later — cancellation abandons the wait, not the
+// flush). Returns nil immediately for lsn 0 or in ModeNone.
+func (s *Store) WaitDurableCtx(ctx context.Context, lsn uint64) error {
+	if s.log == nil || lsn == 0 {
+		return nil
+	}
+	return s.log.WaitDurableCtx(ctx, lsn)
 }
 
 // LastDurable returns the durability watermark inside tx, serializing

@@ -1,0 +1,142 @@
+package reactive
+
+import (
+	"context"
+	"errors"
+
+	"deferstm/internal/ds"
+	"deferstm/internal/stm"
+)
+
+// ErrClosed is returned by Subscription.Next once the topic is closed
+// and the subscription's backlog is drained.
+var ErrClosed = errors.New("reactive: topic closed")
+
+// Topic is a transactional pub/sub fanout: Publish appends a message to
+// every live subscription's queue in one transaction, so either all
+// subscribers observe the message or none do, and every subscriber sees
+// the same message order (publishes serialize on the subscriber list).
+// Subscribers consume at their own pace through per-subscription
+// unbounded queues; a parked Next wakes only when its own queue (or the
+// closed flag) is written.
+type Topic[T any] struct {
+	rt     *stm.Runtime
+	subs   stm.Var[[]*Subscription[T]]
+	closed stm.Var[bool]
+}
+
+// Subscription is one subscriber's ordered message stream.
+type Subscription[T any] struct {
+	t *Topic[T]
+	q *ds.Queue[T]
+}
+
+// NewTopic returns an open topic with no subscribers.
+func NewTopic[T any](rt *stm.Runtime) *Topic[T] {
+	return &Topic[T]{rt: rt}
+}
+
+// Subscribe registers a new subscription. It receives every message
+// published after the registering transaction commits. Subscribing to a
+// closed topic yields a subscription whose Next immediately reports
+// ErrClosed.
+func (t *Topic[T]) Subscribe() *Subscription[T] {
+	s := &Subscription[T]{t: t, q: ds.NewQueue[T]()}
+	_ = t.rt.Atomic(func(tx *stm.Tx) error {
+		if t.closed.Get(tx) {
+			return nil
+		}
+		t.subs.Set(tx, append(t.subs.Get(tx), s))
+		return nil
+	})
+	return s
+}
+
+// Publish delivers v to every live subscription inside tx. It returns
+// ErrClosed (aborting nothing else in tx) if the topic is closed.
+func (t *Topic[T]) Publish(tx *stm.Tx, v T) error {
+	if t.closed.Get(tx) {
+		return ErrClosed
+	}
+	for _, s := range t.subs.Get(tx) {
+		s.q.Put(tx, v)
+	}
+	return nil
+}
+
+// Broadcast publishes v in its own transaction.
+func (t *Topic[T]) Broadcast(v T) error {
+	return t.rt.Atomic(func(tx *stm.Tx) error {
+		return t.Publish(tx, v)
+	})
+}
+
+// Close marks the topic closed and wakes every parked subscriber.
+// Messages already queued remain consumable; Next reports ErrClosed
+// only once a subscription's backlog is drained.
+func (t *Topic[T]) Close() {
+	_ = t.rt.Atomic(func(tx *stm.Tx) error {
+		t.closed.Set(tx, true)
+		return nil
+	})
+}
+
+// Subscribers reports the number of live subscriptions.
+func (t *Topic[T]) Subscribers() int {
+	n := 0
+	_ = t.rt.Atomic(func(tx *stm.Tx) error {
+		n = len(t.subs.Get(tx))
+		return nil
+	})
+	return n
+}
+
+// TryNext returns the subscription's oldest undelivered message inside
+// tx, or ok=false when the backlog is empty.
+func (s *Subscription[T]) TryNext(tx *stm.Tx) (T, bool) {
+	return s.q.TryTake(tx)
+}
+
+// Next blocks (parked, consuming no CPU) until a message is available,
+// the topic is closed and drained (ErrClosed), or ctx ends (ctx.Err()).
+func (s *Subscription[T]) Next(ctx context.Context) (T, error) {
+	var v T
+	var closed bool
+	err := s.t.rt.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		closed = false
+		var ok bool
+		if v, ok = s.q.TryTake(tx); ok {
+			return nil
+		}
+		if s.t.closed.Get(tx) {
+			closed = true
+			return nil
+		}
+		tx.Retry()
+		return nil
+	})
+	if err == nil && closed {
+		var zero T
+		return zero, ErrClosed
+	}
+	return v, err
+}
+
+// Cancel removes the subscription from the topic; pending messages are
+// dropped and future publishes are not delivered to it. Safe to call
+// more than once.
+func (s *Subscription[T]) Cancel() {
+	_ = s.t.rt.Atomic(func(tx *stm.Tx) error {
+		subs := s.t.subs.Get(tx)
+		for i, x := range subs {
+			if x == s {
+				next := make([]*Subscription[T], 0, len(subs)-1)
+				next = append(next, subs[:i]...)
+				next = append(next, subs[i+1:]...)
+				s.t.subs.Set(tx, next)
+				break
+			}
+		}
+		return nil
+	})
+}

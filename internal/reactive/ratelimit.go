@@ -1,0 +1,144 @@
+// Package reactive builds blocking coordination primitives on top of
+// the STM runtime's watcher-based retry: a transactional token-bucket
+// rate limiter and a pub/sub fanout (bounded and unbounded blocking
+// queues live in package ds). Each primitive exposes both a
+// transactional form, which composes with arbitrary other work inside a
+// caller's transaction, and a context-aware top-level form that parks —
+// consuming no CPU — until the condition holds or the context ends.
+//
+// These are the building blocks a networked KV front end needs:
+// thousands of connections can block on queues, topics and token
+// buckets simultaneously, each waking only when a commit actually
+// changes the state it is waiting on.
+package reactive
+
+import (
+	"context"
+	"time"
+
+	"deferstm/internal/stm"
+)
+
+// RateLimiter is a transactional token bucket: Acquire blocks (parked
+// on the token var's watchers) until enough tokens are available, and
+// Refill adds tokens, waking exactly the waiters parked on the bucket.
+// Because TryAcquire runs inside the caller's transaction, taking a
+// token composes atomically with the work it admits — e.g. "take one
+// token AND dequeue one request" commits as a unit or not at all.
+type RateLimiter struct {
+	rt       *stm.Runtime
+	capacity int
+	tokens   stm.Var[int]
+}
+
+// NewRateLimiter returns a bucket holding initial tokens (clamped to
+// [0, capacity]); capacity has a floor of 1.
+func NewRateLimiter(rt *stm.Runtime, capacity, initial int) *RateLimiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if initial < 0 {
+		initial = 0
+	}
+	if initial > capacity {
+		initial = capacity
+	}
+	l := &RateLimiter{rt: rt, capacity: capacity}
+	l.tokens.Init(initial)
+	return l
+}
+
+// Capacity returns the bucket's maximum token count.
+func (l *RateLimiter) Capacity() int { return l.capacity }
+
+// Tokens returns the committed token count without a transaction.
+func (l *RateLimiter) Tokens() int { return l.tokens.Load() }
+
+// TryAcquire takes n tokens inside tx, reporting false (and taking
+// nothing) when fewer than n are available. n is clamped to a minimum
+// of 1; the take commits only if tx commits.
+func (l *RateLimiter) TryAcquire(tx *stm.Tx, n int) bool {
+	if n < 1 {
+		n = 1
+	}
+	have := l.tokens.Get(tx)
+	if have < n {
+		return false
+	}
+	l.tokens.Set(tx, have-n)
+	return true
+}
+
+// AcquireTx takes n tokens inside tx, retrying (parking the whole
+// transaction) until they are available.
+func (l *RateLimiter) AcquireTx(tx *stm.Tx, n int) {
+	if !l.TryAcquire(tx, n) {
+		tx.Retry()
+	}
+}
+
+// Acquire runs its own transaction that blocks until n tokens are
+// available or ctx ends, in which case it returns ctx.Err() and takes
+// nothing.
+func (l *RateLimiter) Acquire(ctx context.Context, n int) error {
+	return l.rt.AtomicCtx(ctx, func(tx *stm.Tx) error {
+		l.AcquireTx(tx, n)
+		return nil
+	})
+}
+
+// Refill adds n tokens (capped at capacity), waking parked acquirers.
+// It returns the number of tokens actually added.
+func (l *RateLimiter) Refill(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	added := 0
+	_ = l.rt.Atomic(func(tx *stm.Tx) error {
+		have := l.tokens.Get(tx)
+		added = n
+		if have+added > l.capacity {
+			added = l.capacity - have
+		}
+		if added > 0 {
+			l.tokens.Set(tx, have+added)
+		}
+		return nil
+	})
+	return added
+}
+
+// StartRefill adds quantum tokens every interval until the returned
+// stop function is called (or ctx ends, if non-nil). It is the
+// steady-rate driver for a bucket whose capacity is the burst bound.
+func (l *RateLimiter) StartRefill(ctx context.Context, interval time.Duration, quantum int) (stop func()) {
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	quit := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				l.Refill(quantum)
+			case <-quit:
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(quit)
+		}
+	}
+}

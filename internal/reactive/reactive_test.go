@@ -1,0 +1,356 @@
+// Tests for the reactive kit: rate-limiter token accounting under
+// contention, pub/sub delivery-to-all ordering, and close/drain
+// semantics — all riding on watcher-based retry, so blocked acquirers
+// and subscribers park instead of spinning.
+package reactive
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deferstm/internal/stm"
+)
+
+func TestRateLimiterBasics(t *testing.T) {
+	rt := stm.NewDefault()
+	l := NewRateLimiter(rt, 10, 3)
+	if l.Capacity() != 10 || l.Tokens() != 3 {
+		t.Fatalf("cap=%d tokens=%d, want 10/3", l.Capacity(), l.Tokens())
+	}
+	ok := false
+	_ = rt.Atomic(func(tx *stm.Tx) error { ok = l.TryAcquire(tx, 3); return nil })
+	if !ok || l.Tokens() != 0 {
+		t.Fatalf("TryAcquire(3) = %v, tokens=%d; want true/0", ok, l.Tokens())
+	}
+	_ = rt.Atomic(func(tx *stm.Tx) error { ok = l.TryAcquire(tx, 1); return nil })
+	if ok {
+		t.Fatal("TryAcquire succeeded on an empty bucket")
+	}
+	if added := l.Refill(99); added != 10 {
+		t.Fatalf("Refill(99) added %d, want 10 (capped at capacity)", added)
+	}
+	if added := l.Refill(1); added != 0 {
+		t.Fatalf("Refill on a full bucket added %d, want 0", added)
+	}
+}
+
+// TestRateLimiterAbortedTakeRollsBack pins that a TryAcquire inside a
+// transaction that later aborts takes nothing.
+func TestRateLimiterAbortedTakeRollsBack(t *testing.T) {
+	rt := stm.NewDefault()
+	l := NewRateLimiter(rt, 5, 5)
+	boom := errors.New("boom")
+	err := rt.Atomic(func(tx *stm.Tx) error {
+		if !l.TryAcquire(tx, 4) {
+			t.Error("TryAcquire failed with tokens available")
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if l.Tokens() != 5 {
+		t.Fatalf("aborted acquire leaked tokens: %d, want 5", l.Tokens())
+	}
+}
+
+// TestRateLimiterContention is the satellite's accounting property: 8
+// goroutines acquire concurrently while a refiller drips tokens in. At
+// every point tokens ∈ [0, capacity], and at the end
+// initial + refilled - acquired == remaining exactly.
+func TestRateLimiterContention(t *testing.T) {
+	const workers = 8
+	const perWorker = 200
+	const capacity = 16
+	rt := stm.NewDefault()
+	l := NewRateLimiter(rt, capacity, capacity)
+
+	var acquired atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := 1 + (w+i)%3 // mix of 1-, 2- and 3-token acquires
+				if err := l.Acquire(context.Background(), n); err != nil {
+					t.Errorf("Acquire: %v", err)
+					return
+				}
+				acquired.Add(int64(n))
+			}
+		}(w)
+	}
+
+	var refilled atomic.Int64
+	stopRefill := make(chan struct{})
+	var refillWG sync.WaitGroup
+	refillWG.Add(1)
+	go func() {
+		defer refillWG.Done()
+		for {
+			select {
+			case <-stopRefill:
+				return
+			default:
+			}
+			refilled.Add(int64(l.Refill(4)))
+			if tok := l.Tokens(); tok < 0 || tok > capacity {
+				t.Errorf("tokens = %d, outside [0, %d]", tok, capacity)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("acquirers deadlocked: acquired=%d refilled=%d tokens=%d parked=%d",
+			acquired.Load(), refilled.Load(), l.Tokens(), rt.RetryParked())
+	}
+	close(stopRefill)
+	refillWG.Wait()
+
+	want := int64(capacity) + refilled.Load() - acquired.Load()
+	if got := int64(l.Tokens()); got != want {
+		t.Fatalf("token conservation violated: tokens=%d, want initial+refilled-acquired=%d", got, want)
+	}
+	if n := rt.RetryParked(); n != 0 {
+		t.Fatalf("%d acquirers still parked", n)
+	}
+}
+
+// TestRateLimiterAcquireCancel parks an acquirer on an empty bucket and
+// cancels it; no tokens may be taken and nothing stays parked.
+func TestRateLimiterAcquireCancel(t *testing.T) {
+	rt := stm.NewDefault()
+	l := NewRateLimiter(rt, 4, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- l.Acquire(ctx, 2) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.RetryParked() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("acquirer never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Acquire = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire ignored cancellation")
+	}
+	if l.Tokens() != 0 || rt.RetryParked() != 0 {
+		t.Fatalf("tokens=%d parked=%d after cancel, want 0/0", l.Tokens(), rt.RetryParked())
+	}
+}
+
+// TestRateLimiterStartRefill exercises the ticker driver end to end: a
+// bucket starting empty admits work only as refills arrive.
+func TestRateLimiterStartRefill(t *testing.T) {
+	rt := stm.NewDefault()
+	l := NewRateLimiter(rt, 8, 0)
+	stop := l.StartRefill(context.Background(), time.Millisecond, 2)
+	defer stop()
+	for i := 0; i < 5; i++ {
+		if err := l.Acquire(context.Background(), 1); err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+	}
+}
+
+// TestPubSubDeliveryToAll is the satellite's fanout property: every
+// subscriber receives every message, in the same order. Subscribers
+// consume concurrently at different paces while two publishers
+// interleave; publishes serialize on the subscriber list, so the
+// per-subscriber streams must be identical.
+func TestPubSubDeliveryToAll(t *testing.T) {
+	const subscribers = 5
+	const publishers = 2
+	const perPublisher = 150
+	rt := stm.NewDefault()
+	topic := NewTopic[string](rt)
+
+	subs := make([]*Subscription[string], subscribers)
+	for i := range subs {
+		subs[i] = topic.Subscribe()
+	}
+	if n := topic.Subscribers(); n != subscribers {
+		t.Fatalf("Subscribers = %d, want %d", n, subscribers)
+	}
+
+	streams := make([][]string, subscribers)
+	var wg sync.WaitGroup
+	for i, s := range subs {
+		wg.Add(1)
+		go func(i int, s *Subscription[string]) {
+			defer wg.Done()
+			if i%2 == 0 {
+				time.Sleep(time.Duration(i) * time.Millisecond) // lag some consumers
+			}
+			for {
+				v, err := s.Next(context.Background())
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Errorf("Next: %v", err)
+					return
+				}
+				streams[i] = append(streams[i], v)
+			}
+		}(i, s)
+	}
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			for m := 0; m < perPublisher; m++ {
+				if err := topic.Broadcast(fmt.Sprintf("p%d-m%d", p, m)); err != nil {
+					t.Errorf("Broadcast: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	pubWG.Wait()
+	topic.Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("subscribers never drained (parked=%d)", rt.RetryParked())
+	}
+
+	total := publishers * perPublisher
+	for i, s := range streams {
+		if len(s) != total {
+			t.Fatalf("subscriber %d received %d messages, want %d", i, len(s), total)
+		}
+	}
+	for i := 1; i < subscribers; i++ {
+		for j := range streams[0] {
+			if streams[i][j] != streams[0][j] {
+				t.Fatalf("subscriber %d diverges at message %d: %q vs %q",
+					i, j, streams[i][j], streams[0][j])
+			}
+		}
+	}
+}
+
+// TestPubSubCloseSemantics: backlog survives Close; Next reports
+// ErrClosed only after the drain; publishing to a closed topic fails;
+// subscribing to a closed topic yields an immediately-closed stream.
+func TestPubSubCloseSemantics(t *testing.T) {
+	rt := stm.NewDefault()
+	topic := NewTopic[int](rt)
+	s := topic.Subscribe()
+	for i := 0; i < 3; i++ {
+		if err := topic.Broadcast(i); err != nil {
+			t.Fatalf("Broadcast: %v", err)
+		}
+	}
+	topic.Close()
+	for i := 0; i < 3; i++ {
+		v, err := s.Next(context.Background())
+		if err != nil || v != i {
+			t.Fatalf("backlog Next = %d, %v; want %d, nil", v, err, i)
+		}
+	}
+	if _, err := s.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("drained Next = %v, want ErrClosed", err)
+	}
+	if err := topic.Broadcast(9); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Broadcast on closed topic = %v, want ErrClosed", err)
+	}
+	late := topic.Subscribe()
+	if _, err := late.Next(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("late subscription Next = %v, want ErrClosed", err)
+	}
+}
+
+// TestPubSubCancelSubscription: a cancelled subscription stops
+// receiving; the others are unaffected.
+func TestPubSubCancelSubscription(t *testing.T) {
+	rt := stm.NewDefault()
+	topic := NewTopic[int](rt)
+	a, b := topic.Subscribe(), topic.Subscribe()
+	if err := topic.Broadcast(1); err != nil {
+		t.Fatal(err)
+	}
+	a.Cancel()
+	if err := topic.Broadcast(2); err != nil {
+		t.Fatal(err)
+	}
+	if n := topic.Subscribers(); n != 1 {
+		t.Fatalf("Subscribers = %d after cancel, want 1", n)
+	}
+	for _, want := range []int{1, 2} {
+		v, err := b.Next(context.Background())
+		if err != nil || v != want {
+			t.Fatalf("b.Next = %d, %v; want %d", v, err, want)
+		}
+	}
+	// a got message 1 before cancelling but never message 2.
+	got := 0
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		for {
+			if _, ok := a.TryNext(tx); !ok {
+				return nil
+			}
+			got++
+		}
+	})
+	if got != 1 {
+		t.Fatalf("cancelled subscription holds %d messages, want 1", got)
+	}
+}
+
+// TestPubSubParkedSubscriberWakes: a subscriber parked on an empty
+// topic wakes on publish (not by polling — RetryParked observes it).
+func TestPubSubParkedSubscriberWakes(t *testing.T) {
+	rt := stm.NewDefault()
+	topic := NewTopic[int](rt)
+	s := topic.Subscribe()
+	got := make(chan int, 1)
+	go func() {
+		v, err := s.Next(context.Background())
+		if err != nil {
+			t.Errorf("Next: %v", err)
+		}
+		got <- v
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.RetryParked() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriber never parked")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := topic.Broadcast(77); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != 77 {
+			t.Fatalf("woken subscriber got %d, want 77", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked subscriber never woke on publish")
+	}
+}

@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"context"
 	"runtime"
 	"time"
 )
@@ -20,12 +21,12 @@ import (
 // transaction and deadlock. Use (*Tx).Nested for flat nesting, exactly as
 // C++ TM flattens nested atomic blocks.
 func (rt *Runtime) Atomic(fn func(tx *Tx) error) error {
-	return rt.run(rt.NewOwner(), fn, false)
+	return rt.run(nil, rt.NewOwner(), fn, false)
 }
 
 // AtomicAs is Atomic with an explicit lock-owner identity.
 func (rt *Runtime) AtomicAs(owner OwnerID, fn func(tx *Tx) error) error {
-	return rt.run(owner, fn, false)
+	return rt.run(nil, owner, fn, false)
 }
 
 // AtomicSerial executes fn as a serial (irrevocable) transaction: it waits
@@ -37,19 +38,29 @@ func (rt *Runtime) AtomicAs(owner OwnerID, fn func(tx *Tx) error) error {
 // most once per call: a non-nil error aborts (buffered writes are
 // discarded) and is returned.
 func (rt *Runtime) AtomicSerial(fn func(tx *Tx) error) error {
-	return rt.run(rt.NewOwner(), fn, true)
+	return rt.run(nil, rt.NewOwner(), fn, true)
 }
 
 // AtomicSerialAs is AtomicSerial with an explicit lock-owner identity.
 func (rt *Runtime) AtomicSerialAs(owner OwnerID, fn func(tx *Tx) error) error {
-	return rt.run(owner, fn, true)
+	return rt.run(nil, owner, fn, true)
 }
 
-func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) error {
+// run is the shared transaction loop. ctx may be nil (the non-Ctx entry
+// points), which costs the hot path nothing but a nil test. A non-nil
+// ctx is consulted only at attempt boundaries and while parked in Retry:
+// fn is never interrupted mid-execution, and a transaction that has
+// committed is reported committed even if ctx expired concurrently.
+func (rt *Runtime) run(ctx context.Context, owner OwnerID, fn func(tx *Tx) error, startSerial bool) error {
 	met := rt.met.Load()
 	var t0 time.Time
 	if met != nil {
 		t0 = time.Now()
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	tx := rt.txPool.Get().(*Tx)
 	tx.owner = owner
@@ -122,7 +133,11 @@ func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) e
 		}
 		switch outcome.sig.reason {
 		case abortExplicitRetry:
-			rt.waitForReadSetChange(tx)
+			if err := rt.waitForRetry(ctx, tx); err != nil {
+				tx.reset()
+				rt.txPool.Put(tx)
+				return err
+			}
 			serialNext = false // a serial Retry re-runs optimistically
 			tx.attempts = 0    // condition waits don't count as contention
 		case abortEscalate:
@@ -138,6 +153,13 @@ func (rt *Runtime) run(owner OwnerID, fn func(tx *Tx) error, startSerial bool) e
 				met.Backoff.Observe(time.Since(b0))
 			} else {
 				tx.backoff()
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					tx.reset()
+					rt.txPool.Put(tx)
+					return err
+				}
 			}
 		}
 		tx.reset()
@@ -196,7 +218,6 @@ func (rt *Runtime) runOptimistic(tx *Tx, fn func(tx *Tx) error) (out txOutcome) 
 	// and two concurrent committers must not wait on each other's slots.
 	rt.releaseSlot(idx)
 	if wv != 0 {
-		rt.notifyCommit()
 		// Hardware TM commits atomically in the cache hierarchy and is
 		// privatization-safe; only the software path quiesces
 		// (Listing 1: "STM-only: ensure transaction finishes before λs
@@ -289,6 +310,18 @@ func (tx *Tx) commitWriteBack() (uint64, bool) {
 		e.m.lock.Store(packVersion(wv))
 	}
 	tx.flushCommitEvents(wv, 0)
+	// Injected delay in the publish→wake window: parked readers' data is
+	// already new but their wakeup is still pending.
+	if tx.rt.inj.stallWake() {
+		tx.rt.stats.InjectedFaults.Add(1)
+	}
+	// Wake retry waiters watching any written var. This runs after every
+	// version store above, so a waiter registered too late to be seen
+	// here necessarily validates against the new versions and never
+	// parks (see watch.go).
+	for i := range tx.writes {
+		tx.writes[i].m.wakeWatchers()
+	}
 	return wv, true
 }
 
@@ -376,37 +409,18 @@ func (rt *Runtime) runSerial(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
 	tx.flushCommitEvents(wv, AuxSerial)
 	tx.active = false
 	release()
-	rt.notifyCommit()
+	// Wake watchers after the gate reopens so woken transactions can
+	// begin immediately.
+	if len(tx.writes) > 0 {
+		if rt.inj.stallWake() {
+			rt.stats.InjectedFaults.Add(1)
+		}
+		for i := range tx.writes {
+			tx.writes[i].m.wakeWatchers()
+		}
+	}
 	// No quiesce: nothing else was running.
 	return txOutcome{committed: true}
-}
-
-// waitForReadSetChange blocks the calling goroutine until some location in
-// tx's (pre-abort) read set has been committed to, implementing retry. An
-// empty read set returns immediately (the transaction re-executes; as in
-// the paper's runtime, a retry that read nothing can only spin).
-func (rt *Runtime) waitForReadSetChange(tx *Tx) {
-	if len(tx.reads) == 0 {
-		runtime.Gosched()
-		return
-	}
-	if rt.cfg.SpinRetry {
-		// The paper's implementation: abort and immediately re-check,
-		// burning CPU (Section 6.1 measures this overhead).
-		for !tx.readSetChanged() {
-			runtime.Gosched()
-		}
-		return
-	}
-	rt.retryWaiters.Add(1)
-	defer rt.retryWaiters.Add(-1)
-	for {
-		ch := *rt.retryCh.Load()
-		if tx.readSetChanged() {
-			return
-		}
-		<-ch
-	}
 }
 
 func (tx *Tx) readSetChanged() bool {

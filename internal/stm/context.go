@@ -1,0 +1,46 @@
+package stm
+
+import "context"
+
+// Context-aware transaction entry points. Cancellation is observed at
+// three places only:
+//
+//   - before the first attempt (a cancelled context runs nothing),
+//   - between attempts, after a conflict abort's backoff (so a
+//     transaction stuck in the backoff/serialization escalation loop
+//     honors its deadline), and
+//   - while blocked in Retry — both parked on watchers and in the
+//     serial-mode retry's optimistic re-run. A waiter woken by
+//     cancellation unregisters from every watched var before
+//     returning, so no watcher entries leak.
+//
+// fn itself is never interrupted, and a transaction whose commit
+// succeeded is reported committed (nil error) even if the context
+// expired concurrently: callers never see a "cancelled" result for a
+// transaction whose effects are visible.
+
+// AtomicCtx is Atomic with cancellation and deadline support. It
+// returns ctx.Err() if ctx is cancelled before the transaction commits.
+// A nil ctx behaves exactly like Atomic.
+func (rt *Runtime) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return rt.run(ctx, rt.NewOwner(), fn, false)
+}
+
+// AtomicAsCtx is AtomicCtx with an explicit lock-owner identity.
+func (rt *Runtime) AtomicAsCtx(ctx context.Context, owner OwnerID, fn func(tx *Tx) error) error {
+	return rt.run(ctx, owner, fn, false)
+}
+
+// AtomicSerialCtx is AtomicSerial with cancellation and deadline
+// support. The serial drain itself is not interruptible (it is bounded
+// by in-flight transactions finishing), but a Retry raised in serial
+// mode re-runs optimistically and honors ctx while parked.
+func (rt *Runtime) AtomicSerialCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return rt.run(ctx, rt.NewOwner(), fn, true)
+}
+
+// AtomicSerialAsCtx is AtomicSerialCtx with an explicit lock-owner
+// identity.
+func (rt *Runtime) AtomicSerialAsCtx(ctx context.Context, owner OwnerID, fn func(tx *Tx) error) error {
+	return rt.run(ctx, owner, fn, true)
+}

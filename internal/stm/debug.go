@@ -26,7 +26,7 @@ func (rt *Runtime) State() RuntimeState {
 	st := RuntimeState{
 		Clock:          rt.clock.Load(),
 		SerialPending:  rt.serialWant.Load() != 0,
-		RetryWaiters:   rt.retryWaiters.Load(),
+		RetryWaiters:   rt.parked.Load(),
 		MaxThreads:     rt.cfg.MaxThreads,
 		Mode:           rt.cfg.Mode,
 		SerializeAfter: rt.cfg.SerializeAfter,

@@ -44,6 +44,18 @@ type Inject struct {
 	// which deferral locks are held but the λ has not yet run.
 	PreHookStallPct int
 
+	// RetryRegisterStallPct stalls this percentage of watcher-based
+	// retry waits between watcher registration and the read-set
+	// validation that decides whether to park — the window a lost
+	// wakeup would have to slip through (see watch.go).
+	RetryRegisterStallPct int
+
+	// WakeDelayPct stalls this percentage of writing commits between
+	// publishing their writes and waking watchers, widening the window
+	// in which a parked reader's data is already new but its wakeup is
+	// still pending.
+	WakeDelayPct int
+
 	// StallSpins is the busy-wait length of one stall, in iterations
 	// (with periodic yields). 0 means 4096.
 	StallSpins int
@@ -112,4 +124,12 @@ func (in *injector) stallQuiesce() bool {
 
 func (in *injector) stallPreHook() bool {
 	return in != nil && in.stall(in.cfg.PreHookStallPct)
+}
+
+func (in *injector) stallRetryRegister() bool {
+	return in != nil && in.stall(in.cfg.RetryRegisterStallPct)
+}
+
+func (in *injector) stallWake() bool {
+	return in != nil && in.stall(in.cfg.WakeDelayPct)
 }

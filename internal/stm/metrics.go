@@ -55,6 +55,21 @@ type Metrics struct {
 	// ResizeChunk is the latency of one resize-migration chunk
 	// transaction in the transactional hashmaps (ds, kv).
 	ResizeChunk *obs.Histogram
+
+	// RetryWaiters is the number of transactions currently parked in
+	// watcher-based retry (watch.go).
+	RetryWaiters *obs.Gauge
+	// WatcherCount is the number of live watcher registrations across
+	// all vars (one parked transaction registers on every var of its
+	// read set, so WatcherCount >= RetryWaiters).
+	WatcherCount *obs.Gauge
+	// RetryBlocked is how long one blocked Retry stayed parked: park →
+	// resumed (woken or cancelled).
+	RetryBlocked *obs.Histogram
+	// WakeLatency is the wakeup propagation delay: the waking commit's
+	// broadcast → the parked transaction running again. This is the
+	// latency the reactive bench ladder reports at p99.
+	WakeLatency *obs.Histogram
 }
 
 // NewMetrics builds the full instrument set, registered on reg. A nil
@@ -80,6 +95,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Group-commit batch wait: oldest enqueued record to flush start."),
 		ResizeChunk: reg.NewHistogram("deferstm_resize_chunk_seconds",
 			"Latency of one hashmap resize-migration chunk transaction."),
+		RetryWaiters: reg.NewGauge("deferstm_retry_waiters",
+			"Transactions currently parked in watcher-based retry."),
+		WatcherCount: reg.NewGauge("deferstm_retry_watchers",
+			"Live watcher registrations across all transactional variables."),
+		RetryBlocked: reg.NewHistogram("deferstm_retry_blocked_seconds",
+			"Time one blocked Retry stayed parked before resuming."),
+		WakeLatency: reg.NewHistogram("deferstm_retry_wake_latency_seconds",
+			"Wakeup propagation delay: waking commit broadcast to parked transaction resuming."),
 	}
 }
 
@@ -118,6 +141,8 @@ func RegisterStats(reg *obs.Registry, snap func() StatsSnapshot) {
 		{`deferstm_aborts_total{reason="syscall"}`, func(s StatsSnapshot) uint64 { return s.AbortsSyscall }},
 		{`deferstm_aborts_total{reason="user"}`, func(s StatsSnapshot) uint64 { return s.UserAborts }},
 		{"deferstm_tx_retries_total", func(s StatsSnapshot) uint64 { return s.Retries }},
+		{"deferstm_retry_parks_total", func(s StatsSnapshot) uint64 { return s.RetryParks }},
+		{"deferstm_retry_wakes_total", func(s StatsSnapshot) uint64 { return s.RetryWakes }},
 		{"deferstm_tx_extensions_total", func(s StatsSnapshot) uint64 { return s.Extensions }},
 		{"deferstm_serializations_total", func(s StatsSnapshot) uint64 { return s.Serializations }},
 		{"deferstm_serial_runs_total", func(s StatsSnapshot) uint64 { return s.SerialRuns }},

@@ -59,6 +59,18 @@ const (
 	// durability checker (internal/check) consumes both.
 	EvWALAppend
 	EvWALDurable
+
+	// Watcher events are emitted by the watcher-based retry path
+	// (watch.go). EvWatchRegister records one registration of a blocked
+	// retry on a read-set var: Var is the var's ID, Ver the (unlocked)
+	// version the aborted attempt observed there — any commit of that
+	// var with a greater version must wake the waiter. EvWake records
+	// the waiter resuming: Ver is the global clock at wake time and Aux
+	// an AuxWake* cause. TxID ties both to the aborted attempt's
+	// EvAbort(retry). The retry-wakeup checker (internal/check)
+	// consumes both.
+	EvWatchRegister
+	EvWake
 )
 
 func (k EventKind) String() string {
@@ -97,6 +109,10 @@ func (k EventKind) String() string {
 		return "wal-append"
 	case EvWALDurable:
 		return "wal-durable"
+	case EvWatchRegister:
+		return "watch-register"
+	case EvWake:
+		return "wake"
 	default:
 		return "event(?)"
 	}
@@ -114,6 +130,19 @@ const (
 
 // AuxSerial marks a serial-mode commit in EvCommit.Aux.
 const AuxSerial = 1
+
+// Wake causes reported in EvWake.Aux.
+const (
+	// AuxWakeCommit: the waiter parked and a writing commit (or
+	// StoreDirect) to a watched var broadcast it.
+	AuxWakeCommit = 0
+	// AuxWakeImmediate: post-registration validation found the read set
+	// already changed; the waiter never parked.
+	AuxWakeImmediate = 1
+	// AuxWakeCancel: the context was cancelled (or its deadline
+	// expired) while parked.
+	AuxWakeCancel = 2
+)
 
 // Event is one entry of a recorded execution history. Fields not
 // meaningful for a kind are zero. Seq is assigned by the Recorder (the

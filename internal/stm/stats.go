@@ -27,6 +27,8 @@ const (
 	cAbortsCapacity
 	cAbortsSyscall
 	cRetries
+	cRetryParks
+	cRetryWakes
 	cExtensions
 	cSerializations
 	cSerialRuns
@@ -108,6 +110,8 @@ type Stats struct {
 	AbortsCapacity Counter // simulated HTM footprint overflow
 	AbortsSyscall  Counter // irrevocability requested under HTM
 	Retries        Counter // explicit Retry calls (condition sync)
+	RetryParks     Counter // retries that parked on watchers (watch.go)
+	RetryWakes     Counter // parked retries woken by a writing commit
 	Extensions     Counter // successful read-version extensions
 	Serializations Counter // escalations to serial mode
 	SerialRuns     Counter // serial-mode executions (incl. AtomicSerial)
@@ -161,6 +165,8 @@ func (s *Stats) init() {
 		cAbortsCapacity: &s.AbortsCapacity,
 		cAbortsSyscall:  &s.AbortsSyscall,
 		cRetries:        &s.Retries,
+		cRetryParks:     &s.RetryParks,
+		cRetryWakes:     &s.RetryWakes,
 		cExtensions:     &s.Extensions,
 		cSerializations: &s.Serializations,
 		cSerialRuns:     &s.SerialRuns,
@@ -187,6 +193,8 @@ type StatsSnapshot struct {
 	AbortsCapacity uint64
 	AbortsSyscall  uint64
 	Retries        uint64
+	RetryParks     uint64
+	RetryWakes     uint64
 	Extensions     uint64
 	Serializations uint64
 	SerialRuns     uint64
@@ -223,6 +231,8 @@ func (rt *Runtime) Snapshot() StatsSnapshot {
 		AbortsCapacity: t[cAbortsCapacity],
 		AbortsSyscall:  t[cAbortsSyscall],
 		Retries:        t[cRetries],
+		RetryParks:     t[cRetryParks],
+		RetryWakes:     t[cRetryWakes],
 		Extensions:     t[cExtensions],
 		Serializations: t[cSerializations],
 		SerialRuns:     t[cSerialRuns],
@@ -249,6 +259,8 @@ func (s StatsSnapshot) Delta(prev StatsSnapshot) StatsSnapshot {
 		AbortsCapacity: s.AbortsCapacity - prev.AbortsCapacity,
 		AbortsSyscall:  s.AbortsSyscall - prev.AbortsSyscall,
 		Retries:        s.Retries - prev.Retries,
+		RetryParks:     s.RetryParks - prev.RetryParks,
+		RetryWakes:     s.RetryWakes - prev.RetryWakes,
 		Extensions:     s.Extensions - prev.Extensions,
 		Serializations: s.Serializations - prev.Serializations,
 		SerialRuns:     s.SerialRuns - prev.SerialRuns,
@@ -279,6 +291,10 @@ func (s StatsSnapshot) String() string {
 		s.Retries, s.Serializations, s.SerialRuns,
 		s.QuiesceWaits, float64(s.QuiesceNanos)/1e6,
 		s.DeferredOps, s.DeferredFrees, s.InjectedFaults)
+	if s.RetryParks != 0 || s.RetryWakes != 0 {
+		base += fmt.Sprintf(" retryPark(parks=%d wakes=%d)",
+			s.RetryParks, s.RetryWakes)
+	}
 	if s.WALRecords != 0 || s.WALFlushes != 0 || s.WALCheckpoints != 0 {
 		base += fmt.Sprintf(" wal(records=%d flushes=%d ckpts=%d)",
 			s.WALRecords, s.WALFlushes, s.WALCheckpoints)

@@ -4,7 +4,9 @@
 //
 //   - transactional variables (Var[T]) protected by versioned locks,
 //   - a global version clock with timestamp extension,
-//   - retry-based condition synchronization (Harris et al.),
+//   - retry-based condition synchronization (Harris et al.) with
+//     wake-on-write watchers: blocked retries park on their read set
+//     and are woken by the first commit writing any of it (watch.go),
 //   - irrevocability via a serial mode that drains all concurrent
 //     transactions (GCC libitm's "serial" method group),
 //   - a contention manager that escalates to serial mode after repeated
@@ -89,12 +91,14 @@ type Config struct {
 	// HTM.
 	SerializeAfter int
 
-	// SpinRetry selects the paper's retry implementation, which aborts
-	// and immediately re-executes (burning CPU) instead of blocking
-	// until a commit changes the read set. The paper's Section 6.1
-	// attributes part of the defer overhead to exactly this; the
-	// blocking implementation is the default, and ablation A3 compares
-	// the two.
+	// SpinRetry is an explicit opt-out of watcher-based retry: instead
+	// of registering on its read set and parking until a commit writes
+	// one of the vars (the default; see watch.go), a retrying
+	// transaction aborts and immediately re-executes, burning CPU
+	// re-evaluating its condition. This is the paper's polling
+	// implementation — Section 6.1 attributes part of the defer
+	// overhead to exactly this — kept as a config so ablation A3 and
+	// the reactive bench suite can measure the difference.
 	SpinRetry bool
 
 	// HTMReadLines and HTMWriteLines bound the simulated HTM footprint,
@@ -180,11 +184,10 @@ type Runtime struct {
 	// transaction begins wake immediately instead of polling.
 	serialClear atomic.Pointer[chan struct{}]
 
-	// retry support: a channel that is closed (and replaced) on every
-	// writer commit, so blocked retry waiters can recheck their read
-	// sets.
-	retryCh      atomic.Pointer[chan struct{}]
-	retryWaiters atomic.Int64
+	// parked counts transactions currently blocked in watcher-based
+	// retry (diagnostics; the waiters themselves live in per-var
+	// watch sets, see watch.go).
+	parked atomic.Int64
 
 	ownerCtr atomic.Uint64
 	txIDCtr  atomic.Uint64 // history transaction IDs (recording only)
@@ -219,8 +222,6 @@ func New(cfg Config) *Runtime {
 	if cfg.Inject != nil {
 		rt.inj = newInjector(*cfg.Inject)
 	}
-	ch := make(chan struct{})
-	rt.retryCh.Store(&ch)
 	sc := make(chan struct{})
 	close(sc) // initially clear: no serial transaction pending
 	rt.serialClear.Store(&sc)
@@ -274,16 +275,4 @@ func (rt *Runtime) nextWriteVersion() (uint64, bool) {
 	// reload is the (monotonic) value some concurrent winner installed
 	// while we held our locks. Adopt it.
 	return rt.clock.Load(), false
-}
-
-// notifyCommit wakes any transactions blocked in retry-wait. It is called
-// after a writer commit has published its updates. The swap-and-close
-// scheme costs one allocation per commit, but only when waiters exist.
-func (rt *Runtime) notifyCommit() {
-	if rt.retryWaiters.Load() == 0 {
-		return
-	}
-	next := make(chan struct{})
-	old := rt.retryCh.Swap(&next)
-	close(*old)
 }

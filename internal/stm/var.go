@@ -26,6 +26,9 @@ type varMeta struct {
 	id    uint64 // unique, allocation-ordered; used to sort write sets
 	lock  atomic.Uint64
 	owner atomic.Pointer[Tx] // non-nil only while locked
+	// watch is the lazily installed retry-watcher set (nil until the
+	// first retry parks on this var; see watch.go).
+	watch atomic.Pointer[watchSet]
 }
 
 // txVar is the type-erased interface a Var presents to the commit path.
@@ -64,12 +67,16 @@ func (v *Var[T]) publish(pending any) {
 
 // ensureID lazily assigns an ID to zero-value Vars (those not built with
 // NewVar). IDs order write-set lock acquisition; a stable nonzero ID is
-// required once the var participates in a commit.
-func (v *Var[T]) ensureID() {
-	if atomic.LoadUint64(&v.m.id) == 0 {
-		atomic.CompareAndSwapUint64(&v.m.id, 0, varIDCtr.Add(1))
+// required once the var participates in a commit — or in a watcher
+// registration, whose recorded event must name the same var a later
+// write names (see parkOnReadSet).
+func (m *varMeta) ensureID() {
+	if atomic.LoadUint64(&m.id) == 0 {
+		atomic.CompareAndSwapUint64(&m.id, 0, varIDCtr.Add(1))
 	}
 }
+
+func (v *Var[T]) ensureID() { v.m.ensureID() }
 
 // ID returns the Var's unique identifier, as used in recorded history
 // events (Event.Var), assigning one if the Var has never been written.
@@ -206,7 +213,7 @@ func (v *Var[T]) StoreDirect(rt *Runtime, x T) {
 			v.val.Store(&x)
 			v.m.lock.Store(packVersion(wv))
 			rt.recEvent(Event{Kind: EvDirectWrite, Var: v.m.id, Ver: wv})
-			rt.notifyCommit()
+			v.m.wakeWatchers()
 			return
 		}
 	}
@@ -214,3 +221,12 @@ func (v *Var[T]) StoreDirect(rt *Runtime, x T) {
 
 // Version reports the var's current commit version (diagnostics/tests).
 func (v *Var[T]) Version() uint64 { return wordVersion(v.m.lock.Load()) }
+
+// Watchers reports how many retry waiters are currently registered on
+// the Var (diagnostics and watcher-leak tests; see watch.go).
+func (v *Var[T]) Watchers() int {
+	if ws := v.m.watch.Load(); ws != nil {
+		return int(ws.n.Load())
+	}
+	return 0
+}

@@ -372,7 +372,15 @@ func (l *Log) LastAssigned(tx *stm.Tx) uint64 { return l.nextLSN.Get(tx) - 1 }
 // brief window where the lock is free; they would then all elect
 // themselves leader and serialize, defeating group commit entirely.
 func (l *Log) WaitDurable(lsn uint64) {
-	_ = l.rt.Atomic(func(tx *stm.Tx) error {
+	_ = l.WaitDurableCtx(nil, lsn)
+}
+
+// WaitDurableCtx is WaitDurable with cancellation and deadline support:
+// it returns ctx.Err() if ctx ends before the watermark covers lsn (the
+// record may still become durable later — cancellation abandons the
+// wait, not the flush). A nil ctx never cancels.
+func (l *Log) WaitDurableCtx(ctx context.Context, lsn uint64) error {
+	return l.rt.AtomicCtx(ctx, func(tx *stm.Tx) error {
 		if l.durable.Get(tx) < lsn {
 			tx.Retry()
 		}

@@ -24,6 +24,19 @@ go run ./cmd/stmtorture -duration 2s -threads 8 -check -inject -seed 1
 echo "==> stmtorture -check smoke, HTM mode"
 go run ./cmd/stmtorture -duration 2s -threads 8 -mode htm -check -inject -seed 1
 
+# Retry-storm smoke: the watcher workload alone, with injection stalling
+# inside both lost-wakeup windows (register→park and publish→wake) and
+# the recorded history verified against the retry-wakeup rule. A lost
+# wakeup deadlocks the producer/consumer handoff and fails the run.
+echo "==> retry-storm smoke (watcher workload, injected stall windows)"
+go run ./cmd/stmtorture -duration 2s -threads 8 -workload watcher -check -inject -seed 3
+
+# The reactive kit (rate limiter, pub/sub) and the blocking queue ops it
+# rides on are all about parking and waking under contention: run their
+# tests under the race detector explicitly, uncached.
+echo "==> reactive-kit tests (race detector, uncached)"
+go test -race -count=1 ./internal/reactive ./internal/ds
+
 echo "==> kv crash-recovery smoke (race detector, fixed seeds)"
 go test -race -count=1 -run 'TestCrashRecovery' ./internal/kv
 
@@ -50,6 +63,13 @@ go run ./cmd/stmbench -validate "$tmpjson"
 # the emitted document. Again no timing assertions.
 echo "==> stmbench scaling-suite smoke (quick, 2 threads)"
 go run ./cmd/stmbench -suite scaling -quick -maxthreads 2 -json "$tmpjson" >/dev/null
+go run ./cmd/stmbench -validate "$tmpjson"
+
+# Reactive-suite smoke: blocked-reader wakeup ladder capped at 4 readers,
+# watcher-vs-spin churn ablation, queue handoff. Validates the document
+# (which now carries retry_parks/retry_wakes and wake_p99_ns columns).
+echo "==> stmbench reactive-suite smoke (quick, 4 readers)"
+go run ./cmd/stmbench -suite reactive -quick -maxreaders 4 -json "$tmpjson" >/dev/null
 go run ./cmd/stmbench -validate "$tmpjson"
 
 # Metrics-endpoint smoke: run kvbench with a live /metrics server and
@@ -101,8 +121,12 @@ if [ -n "$scraped" ]; then
 fi
 wait "$torturepid"
 [ -n "$scraped" ] || { echo "stmtorture metrics endpoint never came up"; exit 1; }
-grep -q deferstm_quiesce_wait_seconds "$tmpmetrics" \
-    || { echo "missing series: deferstm_quiesce_wait_seconds"; exit 1; }
+for series in \
+    deferstm_quiesce_wait_seconds \
+    deferstm_retry_parks_total \
+    deferstm_retry_waiters; do
+    grep -q "$series" "$tmpmetrics" || { echo "missing series: $series"; exit 1; }
+done
 
 # Trace-export smoke: a short defer workload must produce a well-formed
 # Chrome trace-event document while its history still checks clean.
