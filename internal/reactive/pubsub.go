@@ -46,7 +46,13 @@ func (t *Topic[T]) Subscribe() *Subscription[T] {
 		if t.closed.Get(tx) {
 			return nil
 		}
-		t.subs.Set(tx, append(t.subs.Get(tx), s))
+		// Copy-on-write: appending to the committed slice in place would
+		// mutate its shared backing array outside the STM write buffer.
+		subs := t.subs.Get(tx)
+		next := make([]*Subscription[T], len(subs)+1)
+		copy(next, subs)
+		next[len(subs)] = s
+		t.subs.Set(tx, next)
 		return nil
 	})
 	return s

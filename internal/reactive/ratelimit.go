@@ -14,6 +14,7 @@ package reactive
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"deferstm/internal/stm"
@@ -134,11 +135,8 @@ func (l *RateLimiter) StartRefill(ctx context.Context, interval time.Duration, q
 			}
 		}
 	}()
-	var once bool
+	var once sync.Once
 	return func() {
-		if !once {
-			once = true
-			close(quit)
-		}
+		once.Do(func() { close(quit) })
 	}
 }

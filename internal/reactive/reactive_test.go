@@ -170,6 +170,25 @@ func TestRateLimiterStartRefill(t *testing.T) {
 	}
 }
 
+// TestRateLimiterStopConcurrent: StartRefill's stop function is safe to
+// call from multiple goroutines (a racy bool guard used to allow a
+// double close of the quit channel, panicking).
+func TestRateLimiterStopConcurrent(t *testing.T) {
+	rt := stm.NewDefault()
+	l := NewRateLimiter(rt, 4, 0)
+	stop := l.StartRefill(context.Background(), time.Millisecond, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop()
+		}()
+	}
+	wg.Wait()
+	stop() // still idempotent afterwards
+}
+
 // TestPubSubDeliveryToAll is the satellite's fanout property: every
 // subscriber receives every message, in the same order. Subscribers
 // consume concurrently at different paces while two publishers
@@ -249,6 +268,95 @@ func TestPubSubDeliveryToAll(t *testing.T) {
 				t.Fatalf("subscriber %d diverges at message %d: %q vs %q",
 					i, j, streams[i][j], streams[0][j])
 			}
+		}
+	}
+}
+
+// TestPubSubSubscribeCopyOnWrite is a deterministic regression test for
+// a lost-registration race: Subscribe used to append to the committed
+// subscriber slice in place, so whenever that slice had spare capacity
+// the new element was written into the shared backing array immediately
+// — a side effect outside the STM write buffer that survived aborts and
+// let two racing subscribers overwrite each other's slot. Here we grab
+// the committed slice, subscribe again, and assert the old backing
+// array was not mutated. This catches the bug on any GOMAXPROCS,
+// unlike the timing-dependent concurrent variant below.
+func TestPubSubSubscribeCopyOnWrite(t *testing.T) {
+	rt := stm.NewDefault()
+	topic := NewTopic[int](rt)
+	for i := 0; i < 3; i++ {
+		topic.Subscribe()
+	}
+	var before []*Subscription[int]
+	_ = rt.Atomic(func(tx *stm.Tx) error {
+		before = topic.subs.Get(tx)
+		return nil
+	})
+	if cap(before) <= len(before) {
+		t.Skipf("committed slice has no spare capacity (len=%d cap=%d); cannot probe", len(before), cap(before))
+	}
+	full := before[:cap(before)]
+	topic.Subscribe()
+	for i := len(before); i < len(full); i++ {
+		if full[i] != nil {
+			t.Fatalf("Subscribe wrote into the committed backing array at index %d (append-in-place instead of copy-on-write)", i)
+		}
+	}
+}
+
+// TestPubSubConcurrentSubscribe: concurrent Subscribe transactions must
+// not lose registrations. The original implementation appended to the
+// committed subscriber slice in place, so two racing subscribers could
+// write the same backing-array index — one registration silently
+// overwritten (its Next parks forever) and the other duplicated. With
+// copy-on-write every subscriber is registered exactly once and
+// receives each broadcast exactly once.
+func TestPubSubConcurrentSubscribe(t *testing.T) {
+	const (
+		waves   = 60
+		perWave = 8
+	)
+	rt := stm.NewDefault()
+	topic := NewTopic[int](rt)
+
+	// The in-place-append bug only bites when the committed backing
+	// array has spare capacity (cap > len), which recurs after every
+	// doubling reallocation as the slice grows. Subscribe in gated
+	// concurrent waves so racing appends keep landing on those windows,
+	// and verify the count after each wave: a lost registration shows up
+	// as a shortfall.
+	var subs []*Subscription[int]
+	for w := 0; w < waves; w++ {
+		wave := make([]*Subscription[int], perWave)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := range wave {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				wave[i] = topic.Subscribe()
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		subs = append(subs, wave...)
+		if n := topic.Subscribers(); n != len(subs) {
+			t.Fatalf("wave %d: Subscribers = %d, want %d (lost registration)", w, n, len(subs))
+		}
+	}
+
+	if err := topic.Broadcast(42); err != nil {
+		t.Fatal(err)
+	}
+	topic.Close()
+	for i, s := range subs {
+		v, err := s.Next(context.Background())
+		if err != nil || v != 42 {
+			t.Fatalf("subscriber %d Next = %d, %v; want 42, nil (lost registration?)", i, v, err)
+		}
+		if _, err := s.Next(context.Background()); !errors.Is(err, ErrClosed) {
+			t.Fatalf("subscriber %d received a duplicate delivery: %v", i, err)
 		}
 	}
 }
