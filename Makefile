@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-kv vet torture kvsmoke ci bench bench-scaling bench-reactive bench-figs benchdiff trace
+.PHONY: all build test race race-kv race-server vet torture kvsmoke servesmoke ci bench bench-scaling bench-reactive bench-figs benchdiff trace
 
 all: build test
 
@@ -29,6 +29,24 @@ torture:
 kvsmoke:
 	$(GO) test -race -count=1 -run 'TestCrashRecovery' ./internal/kv
 	$(GO) run ./cmd/kvbench -threads 4,8 -ops 100 -latency pagecache -modes sync,group >/dev/null
+
+# Race gate for the networked front end: protocol codecs, pipelined
+# reader/writer pairs, shutdown under load.
+race-server:
+	$(GO) test -race -count=1 ./internal/server
+
+# Networked smoke by hand: boot kvserver on an ephemeral port and run
+# the kvloadgen connection ladder against it (no crash injection; the
+# kill -9 + recovery-verify version lives in scripts/ci.sh).
+servesmoke:
+	@dir=$$(mktemp -d); \
+	$(GO) build -o $$dir/kvserver ./cmd/kvserver; \
+	$(GO) build -o $$dir/kvloadgen ./cmd/kvloadgen; \
+	$$dir/kvserver -addr 127.0.0.1:0 -addrfile $$dir/addr.txt -dir $$dir/wal -mode group & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do [ -s $$dir/addr.txt ] && break; sleep 0.1; done; \
+	$$dir/kvloadgen -addr "$$(head -n1 $$dir/addr.txt)" -conns 1,4,8 -ops 400 -reads 20 -check; \
+	rc=$$?; kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf $$dir; exit $$rc
 
 # The full CI gate (vet + build + race tests + torture smoke in both
 # modes + kv crash-recovery smoke + kvbench acceptance).

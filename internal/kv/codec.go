@@ -47,8 +47,11 @@ func takeStr(b []byte) (string, []byte, error) {
 	return string(b[4 : 4+n]), b[4+n:], nil
 }
 
-// encodeOps serializes a transaction's mutation list.
-func encodeOps(ops []Op) []byte {
+// EncodeOps serializes a mutation list. It is the WAL commit-record
+// payload format, and — exported — the BATCH body of the wire protocol
+// (internal/server): one framing discipline end to end, so a batch that
+// arrived over a socket is byte-identical to the record that replays it.
+func EncodeOps(ops []Op) []byte {
 	var out []byte
 	for _, op := range ops {
 		if op.Put {
@@ -63,8 +66,10 @@ func encodeOps(ops []Op) []byte {
 	return out
 }
 
-// decodeOps parses a commit record payload.
-func decodeOps(b []byte) ([]Op, error) {
+// DecodeOps parses a commit-record (or wire BATCH) payload. It
+// validates structure only; intact-bytes integrity is the caller's
+// layer (WAL CRCs, or the frame length of the wire protocol).
+func DecodeOps(b []byte) ([]Op, error) {
 	var ops []Op
 	for len(b) > 0 {
 		code := b[0]
@@ -112,7 +117,15 @@ func decodeSnapshot(b []byte) (map[string]string, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
-	kvs := make(map[string]string, n)
+	// Clamp the map's size hint to what the remaining bytes could
+	// possibly hold (each entry needs two length prefixes, ≥ 8 bytes):
+	// a corrupt count must produce a decode error, not a giant
+	// allocation before the first takeStr ever runs.
+	hint := n
+	if maxEntries := uint32(len(b) / 8); hint > maxEntries {
+		hint = maxEntries
+	}
+	kvs := make(map[string]string, hint)
 	for i := uint32(0); i < n; i++ {
 		var k, v string
 		var err error

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"deferstm/internal/stm"
 	"deferstm/internal/wal"
@@ -80,6 +81,9 @@ type Store struct {
 	mode Mode
 	log  *wal.Log // nil in ModeNone
 	m    *smap
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // Open recovers (or creates) a store on backend b. b may be nil only in
@@ -123,7 +127,7 @@ func Open(rt *stm.Runtime, b wal.Backend, opts Options) (*Store, *RecoveryInfo, 
 		}
 	}
 	for _, r := range rec.Records {
-		ops, err := decodeOps(r.Payload)
+		ops, err := DecodeOps(r.Payload)
 		if err != nil {
 			return nil, nil, fmt.Errorf("kv: record %d: %w", r.LSN, err)
 		}
@@ -199,7 +203,7 @@ func (s *Store) Update(fn func(tx *stm.Tx, b *Batch) error) (uint64, error) {
 		if s.log == nil || len(b.ops) == 0 {
 			return nil
 		}
-		payload := encodeOps(b.ops)
+		payload := EncodeOps(b.ops)
 		if s.mode == ModeSync {
 			var err error
 			lsn, err = s.log.AppendSync(tx, payload)
@@ -289,10 +293,14 @@ func (s *Store) Mode() Mode { return s.mode }
 func (s *Store) Runtime() *stm.Runtime { return s.rt }
 
 // Close flushes and closes the WAL (no-op in ModeNone). Concurrent
-// updates must have stopped.
+// updates must have stopped. Close is idempotent and safe for
+// concurrent use: every caller observes the first call's result, so
+// overlapping shutdown paths (a server's signal handler racing its
+// deferred cleanup) cannot double-close the WAL.
 func (s *Store) Close() error {
 	if s.log == nil {
 		return nil
 	}
-	return s.log.Close()
+	s.closeOnce.Do(func() { s.closeErr = s.log.Close() })
+	return s.closeErr
 }

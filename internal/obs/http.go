@@ -60,13 +60,40 @@ func (r *Registry) Mux() *http.ServeMux {
 // ":0" for an ephemeral port) and returns the bound address and a stop
 // function. The server runs until stop is called; Serve itself returns
 // immediately after the listener is bound, so callers can print the
-// address before the workload starts.
+// address before the workload starts. The returned address is always
+// dialable (see DialableAddr), so a ":0" caller can paste it into curl
+// — which is exactly what the CI smokes do.
 func (r *Registry) Serve(addr string) (net.Addr, func(), error) {
+	return ServeMux(addr, r.Mux())
+}
+
+// ServeMux is Serve for an arbitrary handler: bind addr, serve h until
+// the stop function is called, report the dialable bound address.
+// Callers that extend the registry's debug mux with their own routes
+// (e.g. cmd/kvserver's /kv/* JSON fallback) serve the combined mux
+// through this.
+func ServeMux(addr string, h http.Handler) (net.Addr, func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{Handler: r.Mux()}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr(), func() { _ = srv.Close() }, nil
+	return DialableAddr(ln.Addr()), func() { _ = srv.Close() }, nil
+}
+
+// DialableAddr rewrites a listener's bound address into one a client can
+// actually connect to: listening on ":0" or "0.0.0.0:x" binds the
+// wildcard address, and printing that verbatim ("http://[::]:43210")
+// gives scripts an undialable URL. The wildcard host is replaced with
+// IPv4 loopback (a wildcard listener accepts loopback connections in
+// both families, and 127.0.0.1 stays reachable in IPv6-less
+// containers); concrete hosts and non-TCP addresses pass through
+// unchanged.
+func DialableAddr(a net.Addr) net.Addr {
+	tcp, ok := a.(*net.TCPAddr)
+	if !ok || (tcp.IP != nil && !tcp.IP.IsUnspecified()) {
+		return a
+	}
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: tcp.Port}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/bits"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -274,5 +275,59 @@ func TestServe(t *testing.T) {
 	}
 	if out := get("/debug/pprof/goroutine?debug=1"); !strings.Contains(out, "goroutine") {
 		t.Errorf("pprof goroutine handler not serving")
+	}
+}
+
+// TestServeWildcardAddr: binding ":0" must yield a printed address a
+// client can actually dial — the wildcard host rewritten to loopback,
+// the ephemeral port resolved. This is what lets CI run a server and a
+// scraper together without picking fixed ports.
+func TestServeWildcardAddr(t *testing.T) {
+	r := NewRegistry()
+	addr, stop, err := r.Serve(":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	tcp, ok := addr.(*net.TCPAddr)
+	if !ok {
+		t.Fatalf("Serve returned %T, want *net.TCPAddr", addr)
+	}
+	if tcp.Port == 0 {
+		t.Fatal("Serve reported port 0 for an ephemeral bind")
+	}
+	if tcp.IP.IsUnspecified() {
+		t.Fatalf("Serve reported undialable wildcard host %s", addr)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET via reported address: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET via reported address: status %d", resp.StatusCode)
+	}
+}
+
+// TestDialableAddr covers the rewrite table directly.
+func TestDialableAddr(t *testing.T) {
+	cases := []struct {
+		in   net.Addr
+		want string
+	}{
+		{&net.TCPAddr{IP: nil, Port: 80}, "127.0.0.1:80"},
+		{&net.TCPAddr{IP: net.IPv4zero, Port: 81}, "127.0.0.1:81"},
+		{&net.TCPAddr{IP: net.IPv6unspecified, Port: 82}, "127.0.0.1:82"},
+		{&net.TCPAddr{IP: net.IPv4(10, 1, 2, 3), Port: 83}, "10.1.2.3:83"},
+		{&net.TCPAddr{IP: net.IPv6loopback, Port: 84}, "[::1]:84"},
+	}
+	for _, c := range cases {
+		if got := DialableAddr(c.in).String(); got != c.want {
+			t.Errorf("DialableAddr(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	unix := &net.UnixAddr{Name: "/tmp/x", Net: "unix"}
+	if got := DialableAddr(unix); got != unix {
+		t.Errorf("non-TCP address rewritten: %v", got)
 	}
 }

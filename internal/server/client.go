@@ -1,0 +1,195 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"deferstm/internal/kv"
+)
+
+// Client is a pipelined connection to a kvserver: requests go out
+// without waiting for earlier responses, a demux goroutine matches
+// responses back to callers by id, and any number of goroutines may
+// share one Client (sends serialize on a mutex; waits don't). The
+// synchronous methods (Get, Put, …) are one-request windows over the
+// async core; a load generator keeps N requests in flight with
+// Send/Recv pairs.
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	mu      sync.Mutex // guards bw, pending, nextID, err
+	bw      *bufio.Writer
+	pending map[uint64]chan Response
+	nextID  uint64
+	err     error // sticky: first transport failure
+
+	readerDone chan struct{}
+}
+
+// Dial connects to a kvserver at addr.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:         nc,
+		br:         bufio.NewReaderSize(nc, 32<<10),
+		bw:         bufio.NewWriterSize(nc, 32<<10),
+		pending:    map[uint64]chan Response{},
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop demultiplexes responses to their waiting callers. On
+// transport failure it fails every in-flight call and every later one.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	for {
+		payload, err := readFrame(c.br, DefaultMaxFrame)
+		if err == nil {
+			var resp Response
+			if resp, err = DecodeResponse(payload); err == nil {
+				c.mu.Lock()
+				ch, ok := c.pending[resp.ID]
+				delete(c.pending, resp.ID)
+				c.mu.Unlock()
+				if !ok {
+					err = fmt.Errorf("server: response for unknown id %d", resp.ID)
+				} else {
+					ch <- resp
+					continue
+				}
+			}
+		}
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			close(ch) // receivers translate a closed channel into c.err
+		}
+		c.mu.Unlock()
+		return
+	}
+}
+
+// Send issues req asynchronously: it assigns the id, writes the frame,
+// and returns a channel that will carry the response. The channel is
+// closed without a value if the connection fails first.
+func (c *Client) Send(req Request) (<-chan Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		c.mu.Unlock()
+		return nil, c.err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	err := writeFrame(c.bw, EncodeRequest(req))
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+	return ch, nil
+}
+
+// Recv waits for the response on a Send channel, translating transport
+// failure into an error.
+func (c *Client) Recv(ch <-chan Response) (Response, error) {
+	resp, ok := <-ch
+	if !ok {
+		return Response{}, c.transportErr()
+	}
+	if resp.Status != StatusOK {
+		return resp, fmt.Errorf("server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *Client) transportErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errors.New("server: connection closed")
+}
+
+func (c *Client) call(req Request) (Response, error) {
+	ch, err := c.Send(req)
+	if err != nil {
+		return Response{}, err
+	}
+	return c.Recv(ch)
+}
+
+// Get reads key.
+func (c *Client) Get(key string) (string, bool, error) {
+	resp, err := c.call(Request{Op: OpGet, Key: key})
+	return resp.Val, resp.Found, err
+}
+
+// Put writes key=value and returns its LSN once it is durable (the
+// server acks at the watermark — by the time this returns, the record
+// survives a crash).
+func (c *Client) Put(key, value string) (uint64, error) {
+	resp, err := c.call(Request{Op: OpPut, Key: key, Val: value})
+	return resp.LSN, err
+}
+
+// Del deletes key and returns the durable LSN.
+func (c *Client) Del(key string) (uint64, error) {
+	resp, err := c.call(Request{Op: OpDel, Key: key})
+	return resp.LSN, err
+}
+
+// Batch applies ops as one atomic, durable transaction.
+func (c *Client) Batch(ops []kv.Op) (uint64, error) {
+	resp, err := c.call(Request{Op: OpBatch, Ops: ops})
+	return resp.LSN, err
+}
+
+// Watch blocks until the server's durable watermark covers lsn and
+// returns the watermark observed.
+func (c *Client) Watch(lsn uint64) (uint64, error) {
+	resp, err := c.call(Request{Op: OpWatch, LSN: lsn})
+	return resp.Water, err
+}
+
+// Stats fetches the server's stats snapshot.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.call(Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	var st Stats
+	if err := json.Unmarshal([]byte(resp.Stats), &st); err != nil {
+		return Stats{}, fmt.Errorf("server: stats payload: %w", err)
+	}
+	return st, nil
+}
+
+// Close tears the connection down and releases every waiter.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	<-c.readerDone
+	return err
+}

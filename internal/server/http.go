@@ -1,0 +1,100 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"deferstm/internal/kv"
+	"deferstm/internal/stm"
+)
+
+// RegisterHTTP mounts a JSON fallback API onto mux — in cmd/kvserver,
+// the same mux the -metrics endpoint serves, so one debug port carries
+// /metrics, /debug/pprof and a curl-able view of the store:
+//
+//	GET  /kv/get?key=k          {"found":true,"value":"v"}
+//	PUT  /kv/put?key=k  (body = value)   {"lsn":12}
+//	POST /kv/del?key=k          {"lsn":13}
+//	GET  /kv/stats              server.Stats
+//
+// Mutations obey the same durability-ack rule as the wire protocol:
+// the response is written only once the durable watermark covers the
+// request's LSN. The fallback is for operators and scripts; the binary
+// protocol is the data path.
+func (s *Server) RegisterHTTP(mux *http.ServeMux) {
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	fail := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+
+	mux.HandleFunc("/kv/get", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		var val string
+		var found bool
+		err := s.store.View(func(tx *stm.Tx) error {
+			val, found = s.store.Get(tx, key)
+			return nil
+		})
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"found": found, "value": val})
+	})
+
+	mux.HandleFunc("/kv/put", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPut && r.Method != http.MethodPost {
+			http.Error(w, "PUT or POST", http.StatusMethodNotAllowed)
+			return
+		}
+		key := r.URL.Query().Get("key")
+		body, err := io.ReadAll(io.LimitReader(r.Body, int64(s.opts.maxFrame())))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		lsn, err := s.store.Update(func(tx *stm.Tx, b *kv.Batch) error {
+			b.Put(key, string(body))
+			return nil
+		})
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		if err := s.store.WaitDurableCtx(r.Context(), lsn); err != nil {
+			fail(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"lsn": lsn})
+	})
+
+	mux.HandleFunc("/kv/del", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+			http.Error(w, "POST or DELETE", http.StatusMethodNotAllowed)
+			return
+		}
+		key := r.URL.Query().Get("key")
+		lsn, err := s.store.Update(func(tx *stm.Tx, b *kv.Batch) error {
+			b.Delete(key)
+			return nil
+		})
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		if err := s.store.WaitDurableCtx(r.Context(), lsn); err != nil {
+			fail(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"lsn": lsn})
+	})
+
+	mux.HandleFunc("/kv/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+}

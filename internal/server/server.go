@@ -1,0 +1,458 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deferstm/internal/ds"
+	"deferstm/internal/kv"
+	"deferstm/internal/obs"
+	"deferstm/internal/stm"
+)
+
+// Options configures a Server. The zero value is usable.
+type Options struct {
+	// Window is the per-connection in-flight response bound: how many
+	// decoded-but-unacknowledged requests a connection may have before
+	// the server stops reading its socket. It is the backpressure
+	// mechanism — when durability lags, windows fill, readers park on
+	// the bounded queue, and TCP flow control pushes the stall back to
+	// the client. 0 means 128.
+	Window int
+	// MaxFrame bounds one wire frame. 0 means DefaultMaxFrame.
+	MaxFrame int
+	// Registry, when non-nil, receives the server's instruments
+	// (request counters, connection gauge, ack-latency histogram,
+	// durable-lag gauge).
+	Registry *obs.Registry
+	// Logf, when non-nil, receives one line per noteworthy connection
+	// event (accept failures, protocol errors).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) window() int {
+	if o.Window <= 0 {
+		return 128
+	}
+	return o.Window
+}
+
+func (o Options) maxFrame() int {
+	if o.MaxFrame <= 0 {
+		return DefaultMaxFrame
+	}
+	return o.MaxFrame
+}
+
+// Server serves the store over TCP. Create with New, run with Serve,
+// stop with Close. All exported methods are safe for concurrent use.
+type Server struct {
+	store *kv.Store
+	rt    *stm.Runtime
+	opts  Options
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	nConns     atomic.Int64
+	totalConns atomic.Uint64
+	reqs       [OpStats + 1]atomic.Uint64
+	reqErrs    atomic.Uint64
+
+	ackLatency *obs.Histogram
+}
+
+// Stats is the STATS response payload (and /kv/stats JSON): store and
+// wire-level counters a load generator needs to compute fsyncs/commit
+// and durable lag across a run. WALFlushes counts group-commit
+// drain+fsync cycles — the fsync count, up to rare segment rotations —
+// and WALRecords the commits those flushes covered.
+type Stats struct {
+	Mode         string            `json:"mode"`
+	Keys         int               `json:"keys"`
+	LastAssigned uint64            `json:"last_assigned_lsn"`
+	Durable      uint64            `json:"durable_lsn"`
+	WALFlushes   uint64            `json:"wal_flushes"`
+	WALRecords   uint64            `json:"wal_records"`
+	WALMeanBatch float64           `json:"wal_mean_batch"`
+	WALMaxBatch  uint64            `json:"wal_max_batch"`
+	Conns        int64             `json:"conns"`
+	TotalConns   uint64            `json:"total_conns"`
+	Requests     map[string]uint64 `json:"requests"`
+	RequestErrs  uint64            `json:"request_errors"`
+}
+
+// New builds a server for store. The store stays owned by the caller:
+// Close stops serving but does not close the store (kv.Store.Close is
+// idempotent, so shutdown paths may close it redundantly anyway).
+func New(store *kv.Store, opts Options) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		store:  store,
+		rt:     store.Runtime(),
+		opts:   opts,
+		ctx:    ctx,
+		cancel: cancel,
+		conns:  map[net.Conn]struct{}{},
+	}
+	reg := opts.Registry
+	s.ackLatency = reg.NewHistogram("deferstm_server_ack_seconds",
+		"Request decoded to response written (durability wait included for mutations).")
+	reg.GaugeFunc("deferstm_server_conns", "Open client connections.",
+		func() float64 { return float64(s.nConns.Load()) })
+	reg.GaugeFunc("deferstm_server_durable_lag_records",
+		"Assigned-but-not-yet-durable WAL records (group-commit depth).",
+		func() float64 {
+			log := store.Log()
+			if log == nil {
+				return 0
+			}
+			a, d := log.AssignedWatermark(), log.DurableWatermark()
+			if a < d {
+				return 0
+			}
+			return float64(a - d)
+		})
+	for op, name := range map[byte]string{
+		OpGet: "get", OpPut: "put", OpDel: "del",
+		OpBatch: "batch", OpWatch: "watch", OpStats: "stats",
+	} {
+		op := op
+		reg.Counter(fmt.Sprintf("deferstm_server_requests_total{op=%q}", name),
+			"Requests served, by op.", func() uint64 { return s.reqs[op].Load() })
+	}
+	reg.Counter("deferstm_server_request_errors_total",
+		"Requests answered with an error status.", func() uint64 { return s.reqErrs.Load() })
+	return s
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// Close-initiated shutdown, or the accept error that stopped it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.nConns.Add(1)
+		s.totalConns.Add(1)
+		go s.handleConn(nc)
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for the
+// per-connection goroutines to drain. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	s.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Stats snapshots the server and store counters.
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Mode:        s.store.Mode().String(),
+		Conns:       s.nConns.Load(),
+		TotalConns:  s.totalConns.Load(),
+		Requests:    map[string]uint64{},
+		RequestErrs: s.reqErrs.Load(),
+	}
+	for op, name := range map[byte]string{
+		OpGet: "get", OpPut: "put", OpDel: "del",
+		OpBatch: "batch", OpWatch: "watch", OpStats: "stats",
+	} {
+		st.Requests[name] = s.reqs[op].Load()
+	}
+	_ = s.store.View(func(tx *stm.Tx) error {
+		st.Keys = s.store.Len(tx)
+		if log := s.store.Log(); log != nil {
+			st.LastAssigned = log.LastAssigned(tx)
+		}
+		return nil
+	})
+	if log := s.store.Log(); log != nil {
+		st.Durable = log.DurableWatermark()
+		bs := log.BatchStats()
+		st.WALFlushes = bs.Flushes
+		st.WALRecords = bs.Records
+		st.WALMeanBatch = bs.Mean()
+		st.WALMaxBatch = bs.MaxBatch
+	}
+	return st
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// pend is one queued response: decoded, executed, waiting for its
+// durability condition and its in-order turn on the wire.
+type pend struct {
+	resp     Response
+	received time.Time
+	sentinel bool // reader finished cleanly: flush and stop
+}
+
+// handleConn runs a connection's reader loop, with a paired writer
+// goroutine draining the bounded ack queue.
+//
+// Pipelining contract: the reader decodes and EXECUTES each request
+// immediately — a PUT's transaction commits (reserving its LSN and
+// joining the WAL group commit) long before its response is writable —
+// and only the RESPONSE is held back, until the durable watermark
+// covers the request's LSN. Requests are answered strictly in arrival
+// order; per-connection LSNs are therefore monotone and the writer's
+// durability waits are cumulative, not redundant. The ack queue's
+// capacity is the in-flight window: when durability lags, the queue
+// fills, the reader parks (a watcher-based retry, no spinning), the
+// socket stops being read, and TCP pushes the backpressure to the
+// client.
+func (s *Server) handleConn(nc net.Conn) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	acks := ds.NewBoundedQueue[pend](s.opts.window())
+	writerDone := make(chan struct{})
+
+	go func() {
+		defer close(writerDone)
+		defer cancel() // a writer exit must unpark the reader
+		bw := bufio.NewWriterSize(nc, 32<<10)
+		for {
+			p, ok := s.takeNoWait(acks)
+			if !ok {
+				// Nothing pending: flush buffered responses before
+				// parking so a half-full buffer never stalls a client.
+				if err := bw.Flush(); err != nil {
+					return
+				}
+				var err error
+				p, err = acks.TakeCtx(ctx, s.rt)
+				if err != nil {
+					return
+				}
+			}
+			if p.sentinel {
+				bw.Flush()
+				return
+			}
+			if p.resp.Status == StatusOK && p.resp.Op == OpWatch {
+				// WATCH resolves here, in response order, like any
+				// mutation ack: wait for the watermark, then report it.
+				if s.store.WaitDurableCtx(ctx, p.resp.Water) != nil {
+					return
+				}
+				if log := s.store.Log(); log != nil {
+					p.resp.Water = log.DurableWatermark()
+				}
+			}
+			if p.resp.LSN > 0 {
+				// The durability-ack rule: a mutation's response exists
+				// only once the watermark covers its LSN. Cancellation
+				// (shutdown) abandons the response, never early-acks it.
+				if s.store.WaitDurableCtx(ctx, p.resp.LSN) != nil {
+					return
+				}
+			}
+			if err := writeFrame(bw, EncodeResponse(p.resp)); err != nil {
+				return
+			}
+			s.ackLatency.Observe(time.Since(p.received))
+		}
+	}()
+
+	br := bufio.NewReaderSize(nc, 32<<10)
+	for {
+		payload, err := readFrame(br, s.opts.maxFrame())
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+				s.logf("server: %s: read: %v", nc.RemoteAddr(), err)
+			}
+			_ = acks.PutCtx(ctx, s.rt, pend{sentinel: true})
+			break
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			// Framing survived but the payload didn't parse: the stream
+			// is no longer trustworthy. Answer the one bad request and
+			// close.
+			s.reqErrs.Add(1)
+			s.logf("server: %s: %v", nc.RemoteAddr(), err)
+			_ = acks.PutCtx(ctx, s.rt, pend{
+				received: time.Now(),
+				resp:     Response{Status: StatusErr, Op: req.Op, ID: req.ID, Err: err.Error()},
+			})
+			_ = acks.PutCtx(ctx, s.rt, pend{sentinel: true})
+			break
+		}
+		p := s.execute(req)
+		if acks.PutCtx(ctx, s.rt, p) != nil {
+			break // shutdown while parked on a full window
+		}
+	}
+
+	<-writerDone
+	cancel()
+	nc.Close()
+	s.mu.Lock()
+	delete(s.conns, nc)
+	s.mu.Unlock()
+	s.nConns.Add(-1)
+	s.wg.Done()
+}
+
+// takeNoWait is BoundedQueue.TryTake in its own transaction.
+func (s *Server) takeNoWait(acks *ds.BoundedQueue[pend]) (pend, bool) {
+	var p pend
+	var ok bool
+	_ = s.rt.Atomic(func(tx *stm.Tx) error {
+		p, ok = acks.TryTake(tx)
+		return nil
+	})
+	return p, ok
+}
+
+// execute runs one request against the store and returns its pending
+// response. Mutations commit here; their durability is the writer's
+// problem (that is the whole design).
+func (s *Server) execute(req Request) pend {
+	p := pend{received: time.Now()}
+	if int(req.Op) < len(s.reqs) {
+		s.reqs[req.Op].Add(1)
+	}
+	fail := func(err error) pend {
+		s.reqErrs.Add(1)
+		p.resp = Response{Status: StatusErr, Op: req.Op, ID: req.ID, Err: err.Error()}
+		return p
+	}
+	p.resp = Response{Status: StatusOK, Op: req.Op, ID: req.ID}
+	switch req.Op {
+	case OpGet:
+		err := s.store.View(func(tx *stm.Tx) error {
+			p.resp.Val, p.resp.Found = s.store.Get(tx, req.Key)
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+	case OpPut:
+		lsn, err := s.store.Update(func(tx *stm.Tx, b *kv.Batch) error {
+			b.Put(req.Key, req.Val)
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		p.resp.LSN = lsn
+	case OpDel:
+		lsn, err := s.store.Update(func(tx *stm.Tx, b *kv.Batch) error {
+			b.Delete(req.Key)
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		p.resp.LSN = lsn
+	case OpBatch:
+		if len(req.Ops) == 0 {
+			return fail(errors.New("server: empty batch"))
+		}
+		lsn, err := s.store.Update(func(tx *stm.Tx, b *kv.Batch) error {
+			for _, op := range req.Ops {
+				if op.Put {
+					b.Put(op.Key, op.Value)
+				} else {
+					b.Delete(op.Key)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fail(err)
+		}
+		p.resp.LSN = lsn
+	case OpWatch:
+		log := s.store.Log()
+		if log == nil {
+			if req.LSN > 0 {
+				return fail(errors.New("server: WATCH on a store with no WAL"))
+			}
+			return p
+		}
+		var assigned uint64
+		_ = s.store.View(func(tx *stm.Tx) error {
+			assigned = log.LastAssigned(tx)
+			return nil
+		})
+		if req.LSN > assigned {
+			// A watch past the assigned history would block this
+			// connection's response stream forever; refuse it.
+			return fail(fmt.Errorf("server: WATCH %d beyond assigned LSN %d", req.LSN, assigned))
+		}
+		p.resp.Water = req.LSN
+	case OpStats:
+		b, err := json.Marshal(s.Stats())
+		if err != nil {
+			return fail(err)
+		}
+		p.resp.Stats = string(b)
+	default:
+		return fail(fmt.Errorf("server: unknown op %d", req.Op))
+	}
+	return p
+}

@@ -359,6 +359,11 @@ func (l *Log) DurableWatermark() uint64 { return l.durable.Load() }
 // LastAssigned returns the newest reserved LSN in tx's snapshot.
 func (l *Log) LastAssigned(tx *stm.Tx) uint64 { return l.nextLSN.Get(tx) - 1 }
 
+// AssignedWatermark returns the newest reserved LSN without a
+// transaction (diagnostics — e.g. the server's durable-lag gauge; it
+// may be stale by the time the caller acts on it).
+func (l *Log) AssignedWatermark() uint64 { return l.nextLSN.Load() - 1 }
+
 // WaitDurable blocks until the watermark covers lsn, using retry-based
 // condition synchronization: the waiter sleeps until a flush publishes a
 // new watermark.

@@ -135,4 +135,41 @@ go run ./cmd/stmtorture -duration 300ms -threads 4 -workload defer -check \
     -trace "$tmptrace" >/dev/null
 grep -q '"traceEvents"' "$tmptrace" || { echo "trace output malformed"; exit 1; }
 
+# The networked front end rides the same group-commit machinery; its
+# protocol codecs, pipelined reader/writer pairs, and shutdown paths are
+# all concurrency, so gate them under the race detector explicitly.
+echo "==> kvserver protocol + pipeline tests (race detector, uncached)"
+go test -race -count=1 ./internal/server
+
+# kvserver crash smoke: boot a real kvserver (OS-backed WAL, ephemeral
+# port), drive a pipelined connection ladder through kvloadgen (which
+# records the highest durably-acked LSN), kill -9 the server mid-promise,
+# then recover the store and require check.RecoveredPrefix to pass:
+# every LSN the server acked before dying must survive replay. The -check
+# flag also asserts the wire-level group-commit win: a >= 8-connection
+# group-mode rung with fsyncs/commit < 1.
+echo "==> kvserver crash smoke (kvloadgen ladder + kill -9 + recovery verify)"
+kvdir="$(mktemp -d)"
+trap 'rm -f "$tmpjson" "$tmpmetrics" "$tmptrace"; rm -rf "$kvdir"' EXIT
+go build -o "$kvdir/kvserver" ./cmd/kvserver
+go build -o "$kvdir/kvloadgen" ./cmd/kvloadgen
+"$kvdir/kvserver" -addr 127.0.0.1:0 -addrfile "$kvdir/addr.txt" \
+    -dir "$kvdir/wal" -mode group 2>"$kvdir/server.log" &
+kvsrvpid=$!
+bound=""
+for _ in $(seq 1 50); do
+    if [ -s "$kvdir/addr.txt" ]; then
+        bound="$(head -n1 "$kvdir/addr.txt")"
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$bound" ] || { echo "kvserver never published its address"; cat "$kvdir/server.log"; exit 1; }
+"$kvdir/kvloadgen" -addr "$bound" -conns 1,4,8 -ops 400 -reads 20 \
+    -ackfile "$kvdir/ack.txt" -json "$kvdir/load.json" -check >/dev/null
+go run ./cmd/stmbench -validate "$kvdir/load.json"
+kill -9 "$kvsrvpid" 2>/dev/null || true
+wait "$kvsrvpid" 2>/dev/null || true
+"$kvdir/kvserver" -dir "$kvdir/wal" -verify -ackfile "$kvdir/ack.txt"
+
 echo "CI green"
