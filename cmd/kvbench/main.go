@@ -69,6 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		value   = fs.Int("value", 64, "value bytes")
 		latency = fs.String("latency", "pagecache", "simulated I/O cost: none|pagecache|slowdisk")
 		modes   = fs.String("modes", "none,sync,group", "modes to run")
+		shards  = fs.Int("shards", 1, "key-space shards = parallel WAL lanes (power of two)")
 		buckets = fs.Int("buckets", 0, "store hash buckets (0 = kv default); small values force resizes")
 		csv     = fs.Bool("csv", false, "emit CSV instead of a text table")
 		metrics = fs.String("metrics", "", "serve /metrics + /debug/pprof on this address while the benchmark runs (e.g. 127.0.0.1:9191)")
@@ -115,6 +116,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// come and go.
 	var met *stm.Metrics
 	var curRT atomic.Pointer[stm.Runtime]
+	var curStore atomic.Pointer[kv.Store]
 	if *metrics != "" {
 		reg := obs.NewRegistry()
 		reg.SetBuildInfo("commit", bench.GitCommit(), "go", runtime.Version(), "binary", "kvbench")
@@ -125,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			return stm.StatsSnapshot{}
 		})
+		kv.RegisterLaneMetrics(reg, *shards, func() *kv.Store { return curStore.Load() })
 		addr, stop, err := reg.Serve(*metrics)
 		if err != nil {
 			fmt.Fprintf(stderr, "kvbench: -metrics: %v\n", err)
@@ -137,7 +140,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var results []result
 	for _, mode := range modeList {
 		for _, t := range threadCounts {
-			r, err := benchOne(mode, t, *ops, *keys, *value, *buckets, lat, met, &curRT)
+			r, err := benchOne(mode, t, *ops, *keys, *value, *buckets, *shards, lat, met, &curRT, &curStore)
 			if err != nil {
 				fmt.Fprintf(stderr, "kvbench: %v@%d: %v\n", mode, t, err)
 				return 1
@@ -158,8 +161,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				r.meanBatch, r.maxBatch, r.recovered)
 		}
 	} else {
-		fmt.Fprintf(stdout, "kvbench: %d updates/goroutine, %d keys, %d-byte values, latency=%s\n\n",
-			*ops, *keys, *value, *latency)
+		fmt.Fprintf(stdout, "kvbench: %d updates/goroutine, %d keys, %d-byte values, latency=%s, shards=%d\n\n",
+			*ops, *keys, *value, *latency, *shards)
 		fmt.Fprintf(stdout, "%-6s %8s %9s %12s %8s %14s %10s %8s  %s\n",
 			"mode", "threads", "commits", "commits/s", "fsyncs", "fsyncs/commit", "mean-batch", "recovery", "batch-hist")
 		for _, r := range results {
@@ -207,7 +210,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat simio.Latency, met *stm.Metrics, curRT *atomic.Pointer[stm.Runtime]) (result, error) {
+func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets, shards int, lat simio.Latency, met *stm.Metrics, curRT *atomic.Pointer[stm.Runtime], curStore *atomic.Pointer[kv.Store]) (result, error) {
 	fs := simio.NewFS(lat)
 	var backend wal.Backend
 	if mode != kv.ModeNone {
@@ -219,10 +222,15 @@ func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat sim
 		curRT.Store(rt)
 	}
 	before := rt.Snapshot()
-	s, _, err := kv.Open(rt, backend, kv.Options{Mode: mode, Buckets: buckets})
+	s, _, err := kv.Open(rt, backend, kv.Options{Mode: mode, Buckets: buckets, Shards: shards})
 	if err != nil {
 		return result{}, err
 	}
+	curStore.Store(s)
+	// Fsyncs spent opening the store (the lane manifest, segment
+	// creation) are setup cost, not commit cost: baseline them away so
+	// lane accounting and fsyncs/commit both measure the run itself.
+	fsyncBase := fs.Stats().Fsyncs
 
 	value := strings.Repeat("v", valueBytes)
 	start := time.Now()
@@ -263,18 +271,38 @@ func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat sim
 		threads:   threads,
 		commits:   uint64(threads * ops),
 		elapsed:   elapsed,
-		fsyncs:    fs.Stats().Fsyncs,
+		fsyncs:    fs.Stats().Fsyncs - fsyncBase,
 		recovered: "ok",
 	}
 	delta := rt.Snapshot().Delta(before)
-	if log := s.Log(); log != nil {
-		st := log.BatchStats()
-		r.flushes = st.Flushes
-		r.meanBatch = st.Mean()
-		r.maxBatch = st.MaxBatch
-		r.hist = histString(st)
+	if logs := s.Logs(); mode != kv.ModeNone && len(logs) > 0 {
+		var agg wal.BatchStats
+		for _, log := range logs {
+			st := log.BatchStats()
+			agg.Flushes += st.Flushes
+			agg.Records += st.Records
+			agg.Fsyncs += st.Fsyncs
+			if st.MaxBatch > agg.MaxBatch {
+				agg.MaxBatch = st.MaxBatch
+			}
+			for i, n := range st.Hist {
+				agg.Hist[i] += n
+			}
+		}
+		r.flushes = agg.Flushes
+		r.meanBatch = agg.Mean()
+		r.maxBatch = agg.MaxBatch
+		r.hist = histString(agg)
 		if delta.WALRecords != r.commits {
 			return result{}, fmt.Errorf("stats mismatch: %d WAL records for %d commits", delta.WALRecords, r.commits)
+		}
+		// Reconcile the lanes' own fsync counters against the simulated
+		// disk's ground truth: every fsync the filesystem saw after Open
+		// must be one some lane accounted for. A drift here means a code
+		// path fsyncs without noteFsync (or counts one it never issued),
+		// which would silently corrupt every fsyncs/commit figure above.
+		if agg.Fsyncs != r.fsyncs {
+			return result{}, fmt.Errorf("fsync accounting mismatch: lanes counted %d, disk saw %d", agg.Fsyncs, r.fsyncs)
 		}
 	}
 
@@ -295,7 +323,7 @@ func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat sim
 		return result{}, err
 	}
 	if mode != kv.ModeNone {
-		if msg := verifyRecovery(fs, mode, buckets, live, r.commits); msg != "" {
+		if msg := verifyRecovery(fs, mode, buckets, shards, live, r.commits); msg != "" {
 			r.recovered = msg
 		}
 	}
@@ -304,8 +332,11 @@ func benchOne(mode kv.Mode, threads, ops, keys, valueBytes, buckets int, lat sim
 
 // verifyRecovery reopens the store from the log the benchmark wrote and
 // compares it to the live contents at close. Returns "" on success.
-func verifyRecovery(fs *simio.FS, mode kv.Mode, buckets int, live map[string]string, commits uint64) string {
-	s2, info, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{Mode: mode, Buckets: buckets})
+// With multiple lanes, RecoveryInfo.LastLSN is the sum of per-lane
+// LSNs; every benchmark update appends exactly one record to exactly
+// one lane, so the sum must still equal the commit count.
+func verifyRecovery(fs *simio.FS, mode kv.Mode, buckets, shards int, live map[string]string, commits uint64) string {
+	s2, info, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{Mode: mode, Buckets: buckets, Shards: shards})
 	if err != nil {
 		return fmt.Sprintf("open: %v", err)
 	}

@@ -18,8 +18,10 @@
 //
 // -json writes a bench.StmDoc (schema deferstm/bench/v1), so
 // scripts/benchdiff.go compares kvloadgen runs exactly like stmbench
-// runs. -ackfile records the highest durably-acked LSN for the
-// crash-recovery smoke; -tolerate-disconnect makes a mid-run connection
+// runs. -ackfile records the highest durably-acked LSN per WAL lane for
+// the crash-recovery smoke (a bare decimal for a single-lane server,
+// "lane lsn" lines for a sharded one — the formats kvserver -verify
+// accepts); -tolerate-disconnect makes a mid-run connection
 // loss (the smoke's kill -9) a clean exit instead of a failure.
 package main
 
@@ -36,6 +38,7 @@ import (
 	"time"
 
 	"deferstm/internal/bench"
+	"deferstm/internal/kv"
 	"deferstm/internal/obs"
 	"deferstm/internal/server"
 )
@@ -50,10 +53,54 @@ type rung struct {
 	writes   uint64
 	elapsed  time.Duration
 	maxLSN   uint64
-	records  uint64 // WAL records appended during the rung
-	flushes  uint64 // WAL flushes during the rung
+	records  uint64 // WAL records appended during the rung (all lanes)
+	flushes  uint64 // WAL flushes during the rung (all lanes)
+	fsyncs   uint64 // WAL fsyncs during the rung (all lanes)
 	p50, p99 time.Duration
 	mode     string
+}
+
+// ackTracker records, per WAL lane, the highest LSN the server durably
+// acked to us. Write responses carry lane-tagged tokens
+// (kv.PackToken); a legacy single-lane server's tokens decode as lane
+// 0, so the unsharded path falls out of the same code.
+type ackTracker struct {
+	lanes [kv.MaxShards]atomic.Uint64
+}
+
+func (a *ackTracker) observe(token uint64) {
+	lane := kv.TokenLane(token)
+	if lane < 0 || lane >= kv.MaxShards {
+		return
+	}
+	lsn := kv.TokenLSN(token)
+	for {
+		cur := a.lanes[lane].Load()
+		if lsn <= cur || a.lanes[lane].CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// render emits the ackfile: the legacy bare decimal when only lane 0
+// ever acked (so single-lane smoke artifacts keep their old shape), or
+// one "lane lsn" line per acked lane for a sharded server.
+func (a *ackTracker) render() string {
+	maxLane := 0
+	for lane := kv.MaxShards - 1; lane > 0; lane-- {
+		if a.lanes[lane].Load() > 0 {
+			maxLane = lane
+			break
+		}
+	}
+	if maxLane == 0 {
+		return strconv.FormatUint(a.lanes[0].Load(), 10) + "\n"
+	}
+	var sb strings.Builder
+	for lane := 0; lane <= maxLane; lane++ {
+		fmt.Fprintf(&sb, "%d %d\n", lane, a.lanes[lane].Load())
+	}
+	return sb.String()
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -87,13 +134,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var maxAcked atomic.Uint64
+	var acks ackTracker
 	writeAck := func() {
 		if *ackfile == "" {
 			return
 		}
-		data := strconv.FormatUint(maxAcked.Load(), 10) + "\n"
-		if err := os.WriteFile(*ackfile, []byte(data), 0o644); err != nil {
+		if err := os.WriteFile(*ackfile, []byte(acks.render()), 0o644); err != nil {
 			fmt.Fprintf(stderr, "kvloadgen: -ackfile: %v\n", err)
 		}
 	}
@@ -102,7 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var rungs []rung
 	disconnected := false
 	for _, n := range connCounts {
-		r, err := runRung(*addr, n, *ops, *keys, *value, *reads, *window, *seed, &maxAcked)
+		r, err := runRung(*addr, n, *ops, *keys, *value, *reads, *window, *seed, &acks)
 		if err != nil {
 			if *tolerate {
 				fmt.Fprintf(stderr, "kvloadgen: disconnected at %d conns (tolerated): %v\n", n, err)
@@ -127,7 +173,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, r := range rungs {
 		fpc := 0.0
 		if r.records > 0 {
-			fpc = float64(r.flushes) / float64(r.records)
+			fpc = float64(r.fsyncs) / float64(r.records)
 		}
 		fmt.Fprintf(stdout, "%-6s %8d %10d %12.0f %10d %14.3f %12s %12s\n",
 			r.mode, r.conns, r.ops,
@@ -147,6 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				Commits:       r.ops,
 				WALRecords:    r.records,
 				WALFlushes:    r.flushes,
+				WALFsyncs:     r.fsyncs,
 				TxP50Ns:       float64(r.p50.Nanoseconds()),
 				TxP99Ns:       float64(r.p99.Nanoseconds()),
 			})
@@ -166,7 +213,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ok := false
 		for _, r := range rungs {
 			if r.mode == "group" && r.conns >= 8 && r.writes > 0 && r.records > 0 &&
-				float64(r.flushes)/float64(r.records) < 1 {
+				float64(r.fsyncs)/float64(r.records) < 1 {
 				ok = true
 			}
 		}
@@ -180,7 +227,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runRung opens n pipelined connections and pushes ops requests through
 // each, keeping up to window in flight per connection.
-func runRung(addr string, n, ops, keys, valueLen, readPct, window int, seed int64, maxAcked *atomic.Uint64) (rung, error) {
+func runRung(addr string, n, ops, keys, valueLen, readPct, window int, seed int64, acks *ackTracker) (rung, error) {
 	r := rung{conns: n}
 	clients := make([]*server.Client, n)
 	for i := range clients {
@@ -225,14 +272,10 @@ func runRung(addr string, n, ops, keys, valueLen, readPct, window int, seed int6
 				totalOps.Add(1)
 				if resp.LSN > 0 {
 					totalWrites.Add(1)
-					// The server acked at the durable watermark, so
-					// this LSN is a crash-survival promise we record.
-					for {
-						cur := maxAcked.Load()
-						if resp.LSN <= cur || maxAcked.CompareAndSwap(cur, resp.LSN) {
-							break
-						}
-					}
+					// The server acked at its lane's durable watermark,
+					// so this token is a crash-survival promise: the
+					// lane must recover through this LSN.
+					acks.observe(resp.LSN)
 				}
 				return nil
 			}
@@ -281,6 +324,7 @@ func runRung(addr string, n, ops, keys, valueLen, readPct, window int, seed int6
 	r.maxLSN = after.Durable
 	r.records = after.WALRecords - before.WALRecords
 	r.flushes = after.WALFlushes - before.WALFlushes
+	r.fsyncs = after.WALFsyncs - before.WALFsyncs
 	snap := hist.Snapshot()
 	r.p50 = time.Duration(snap.Quantile(0.50))
 	r.p99 = time.Duration(snap.Quantile(0.99))

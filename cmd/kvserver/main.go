@@ -59,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		addrfile = fs.String("addrfile", "", "write the bound address to this file once listening")
 		dir      = fs.String("dir", "", "WAL directory (required unless -mode none)")
 		mode     = fs.String("mode", "group", "durability mode: group|sync|none")
+		shards   = fs.Int("shards", 0, "key-space shards = parallel WAL lanes (power of two; 0 adopts the store's manifest)")
 		window   = fs.Int("window", 128, "per-connection in-flight response window")
 		metrics  = fs.String("metrics", "", "serve /metrics, /debug/pprof and the /kv/* JSON API on this address")
 		verify   = fs.Bool("verify", false, "recover the store, print a recovery summary, and exit")
@@ -98,13 +99,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	reg.SetBuildInfo("commit", bench.GitCommit(), "go", runtime.Version(), "binary", "kvserver")
 	rt := stm.NewDefault()
 	rt.SetMetrics(stm.NewMetrics(reg))
-	store, info, err := kv.Open(rt, backend, kv.Options{Mode: kvMode})
+	store, info, err := kv.Open(rt, backend, kv.Options{Mode: kvMode, Shards: *shards})
 	if err != nil {
 		fmt.Fprintf(stderr, "kvserver: open: %v\n", err)
 		return 1
 	}
 	defer store.Close()
 	stm.RegisterStats(reg, rt.Snapshot)
+	store.RegisterMetrics(reg)
 
 	if *verify {
 		return runVerify(stdout, stderr, info, *ackfile)
@@ -168,10 +170,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runVerify prints what recovery found and, given an ackfile, checks
 // the recovered state against the durability acks handed out before the
-// crash. The loadgen records the highest LSN whose response it actually
-// received; the server acks only at the durable watermark; so recovery
-// must cover that LSN — check.RecoveredPrefix states this as "nothing
-// acked is lost, nothing unappended is invented".
+// crash. The loadgen records, per WAL lane, the highest LSN whose
+// response it actually received; the server acks only at the durable
+// watermark; so recovery must cover those LSNs —
+// check.RecoveredPrefixLanes states this as "nothing acked is lost,
+// nothing unappended is invented", lane by lane.
+//
+// Ackfile formats: one bare decimal (the unsharded legacy format,
+// meaning lane 0), or one "lane lsn" pair per line for a sharded run.
 func runVerify(stdout, stderr io.Writer, info *kv.RecoveryInfo, ackfile string) int {
 	summary, _ := json.Marshal(info)
 	fmt.Fprintf(stdout, "%s\n", summary)
@@ -183,33 +189,89 @@ func runVerify(stdout, stderr io.Writer, info *kv.RecoveryInfo, ackfile string) 
 		fmt.Fprintf(stderr, "kvserver: -ackfile: %v\n", err)
 		return 1
 	}
-	acked, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	acked, err := parseAckfile(string(b), info.Shards)
 	if err != nil {
 		fmt.Fprintf(stderr, "kvserver: -ackfile %s: %v\n", ackfile, err)
 		return 1
 	}
-	// Synthesize the minimal event history this side can attest to: the
-	// append stream reached at least max(acked, recovered), and the
-	// durable watermark was published through the acked LSN. Contiguity
-	// of intermediate LSNs holds by construction (the WAL assigns them
-	// sequentially), so appends are recorded for the full range.
+	// Synthesize the minimal event history this side can attest to, per
+	// lane: the append stream reached at least max(acked, recovered),
+	// and the durable watermark was published through the acked LSN.
+	// Contiguity of intermediate LSNs holds by construction (each lane
+	// assigns them sequentially), so appends are recorded for the full
+	// range. TxIDs are unique per synthesized append — this history
+	// cannot attest which records formed cross-shard batches, so batch
+	// atomicity is covered by the in-process crash tests, not here.
 	var events []stm.Event
-	maxAppended := info.LastLSN
-	if acked > maxAppended {
-		maxAppended = acked
+	lanes := make([]check.RecoveredLane, info.Shards)
+	txID := uint64(0)
+	for lane := 0; lane < info.Shards; lane++ {
+		var recovered uint64
+		if lane < len(info.Lanes) {
+			recovered = info.Lanes[lane].LastLSN // zero in -mode none (no lanes)
+		}
+		lanes[lane] = check.RecoveredLane{LogVar: uint64(lane), LastLSN: recovered}
+		maxAppended := recovered
+		if acked[lane] > maxAppended {
+			maxAppended = acked[lane]
+		}
+		for lsn := uint64(1); lsn <= maxAppended; lsn++ {
+			txID++
+			events = append(events, stm.Event{Kind: stm.EvWALAppend, TxID: txID, Var: uint64(lane), Aux: lsn})
+		}
+		events = append(events, stm.Event{Kind: stm.EvWALDurable, Var: uint64(lane), Aux: acked[lane]})
 	}
-	for lsn := uint64(1); lsn <= maxAppended; lsn++ {
-		events = append(events, stm.Event{Kind: stm.EvWALAppend, Aux: lsn})
-	}
-	events = append(events, stm.Event{Kind: stm.EvWALDurable, Aux: acked})
-	violations := check.RecoveredPrefix(events, 0, info.LastLSN)
+	violations := check.RecoveredPrefixLanes(events, lanes)
 	for _, v := range violations {
 		fmt.Fprintf(stderr, "kvserver: verify: %s\n", v.Msg)
 	}
 	if len(violations) > 0 {
 		return 1
 	}
-	fmt.Fprintf(stdout, "verify ok: recovered LSN %d covers acked LSN %d (%d keys)\n",
-		info.LastLSN, acked, info.Keys)
+	for lane := 0; lane < len(lanes); lane++ {
+		fmt.Fprintf(stdout, "verify ok: lane %d recovered LSN %d covers acked LSN %d\n",
+			lane, lanes[lane].LastLSN, acked[lane])
+	}
+	fmt.Fprintf(stdout, "verify ok: %d lanes, %d keys\n", info.Shards, info.Keys)
 	return 0
+}
+
+// parseAckfile reads either the legacy single-number format (lane 0) or
+// per-lane "lane lsn" lines, returning max acked LSN per lane.
+func parseAckfile(content string, shards int) ([]uint64, error) {
+	acked := make([]uint64, shards)
+	lines := strings.Split(strings.TrimSpace(content), "\n")
+	for _, line := range lines {
+		fields := strings.Fields(line)
+		switch len(fields) {
+		case 0:
+			continue
+		case 1:
+			lsn, err := strconv.ParseUint(fields[0], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			if lsn > acked[0] {
+				acked[0] = lsn
+			}
+		case 2:
+			lane, err := strconv.Atoi(fields[0])
+			if err != nil {
+				return nil, err
+			}
+			if lane < 0 || lane >= shards {
+				return nil, fmt.Errorf("ack for lane %d of a %d-lane store", lane, shards)
+			}
+			lsn, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, err
+			}
+			if lsn > acked[lane] {
+				acked[lane] = lsn
+			}
+		default:
+			return nil, fmt.Errorf("bad ackfile line %q", line)
+		}
+	}
+	return acked, nil
 }

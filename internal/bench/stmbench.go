@@ -43,6 +43,7 @@ type StmResult struct {
 	QuiesceNanos  uint64  `json:"quiesce_nanos"`
 	WALRecords    uint64  `json:"wal_records,omitempty"`
 	WALFlushes    uint64  `json:"wal_flushes,omitempty"`
+	WALFsyncs     uint64  `json:"wal_fsyncs,omitempty"`
 
 	// Watcher-based retry counters (reactive suite): Starts is the total
 	// attempt count — for blocked-reader workloads it is the CPU-churn
@@ -241,6 +242,7 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		QuiesceNanos: delta.QuiesceNanos,
 		WALRecords:   delta.WALRecords,
 		WALFlushes:   delta.WALFlushes,
+		WALFsyncs:    delta.WALFsyncs,
 		Starts:       delta.Starts,
 		RetryParks:   delta.RetryParks,
 		RetryWakes:   delta.RetryWakes,

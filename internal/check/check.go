@@ -293,7 +293,7 @@ func parse(events []stm.Event) *parsed {
 			// Flushed only on commit, so every append seen here took
 			// effect; Ver is the appending transaction's commit version.
 			p.walAppends[ev.Var] = append(p.walAppends[ev.Var],
-				walAppend{lsn: ev.Aux, ver: ev.Ver, seq: seq, txID: ev.TxID, owner: ev.Owner})
+				walAppend{lsn: ev.Aux, gsn: ev.Aux2, ver: ev.Ver, seq: seq, txID: ev.TxID, owner: ev.Owner})
 		case stm.EvWALDurable:
 			p.walDurables[ev.Var] = append(p.walDurables[ev.Var],
 				walDurable{watermark: ev.Aux, seq: seq})

@@ -28,6 +28,7 @@ const RuleDurability = "durability"
 
 type walAppend struct {
 	lsn   uint64
+	gsn   uint64 // global commit sequence number (0 on single-lane logs)
 	ver   uint64 // commit version of the appending transaction
 	seq   uint64
 	txID  uint64
@@ -75,6 +76,24 @@ func checkDurability(p *parsed) []Violation {
 				})
 			}
 		}
+		// GSN order must agree with lane LSN order: a multi-lane store
+		// draws each commit's GSN after reserving every touched lane's
+		// LSN, so within one lane ascending LSN ⇒ strictly ascending GSN
+		// (records without a GSN — single-lane logs — are exempt).
+		var prevG *walAppend
+		for _, a := range sorted {
+			if a.gsn == 0 {
+				continue
+			}
+			if prevG != nil && a.gsn <= prevG.gsn {
+				out = append(out, Violation{
+					Rule: RuleDurability, TxID: a.txID, Seq: a.seq,
+					Msg: fmt.Sprintf("GSN order disagrees with lane LSN order on log %d: LSN %d carries GSN %d but LSN %d carries GSN %d",
+						logVar, prevG.lsn, prevG.gsn, a.lsn, a.gsn),
+				})
+			}
+			prevG = a
+		}
 		var maxLSN uint64
 		for lsn := range byLSN {
 			if lsn > maxLSN {
@@ -109,6 +128,35 @@ func checkDurability(p *parsed) []Violation {
 					Msg: fmt.Sprintf("log %d acknowledged LSN %d durable before the appending transaction's commit flushed it", logVar, d.watermark),
 				})
 			}
+		}
+	}
+	// GSNs are per-commit, across lanes: every append of one transaction
+	// carries the same GSN, and no two transactions share one.
+	gsnOf := make(map[uint64]uint64)   // txID -> gsn
+	txOfGSN := make(map[uint64]uint64) // gsn -> txID
+	for logVar, apps := range p.walAppends {
+		for _, a := range apps {
+			if a.gsn == 0 {
+				continue
+			}
+			if g, ok := gsnOf[a.txID]; ok && g != a.gsn {
+				out = append(out, Violation{
+					Rule: RuleDurability, TxID: a.txID, Seq: a.seq,
+					Msg: fmt.Sprintf("transaction %d appended records with two GSNs (%d and %d on log %d) — one commit, one GSN",
+						a.txID, g, a.gsn, logVar),
+				})
+				continue
+			}
+			gsnOf[a.txID] = a.gsn
+			if other, ok := txOfGSN[a.gsn]; ok && other != a.txID {
+				out = append(out, Violation{
+					Rule: RuleDurability, TxID: a.txID, Seq: a.seq,
+					Msg: fmt.Sprintf("GSN %d issued to two committed transactions (tx %d and tx %d)",
+						a.gsn, other, a.txID),
+				})
+				continue
+			}
+			txOfGSN[a.gsn] = a.txID
 		}
 	}
 	return out
@@ -165,6 +213,120 @@ func RecoveredPrefix(events []stm.Event, baseLSN, recoveredLastLSN uint64) []Vio
 			out = append(out, Violation{
 				Rule: RuleDurability,
 				Msg:  fmt.Sprintf("recovered state covers LSN %d, which no committed transaction appended — not a prefix of the serialization order", lsn),
+			})
+		}
+	}
+	return out
+}
+
+// RecoveredLane names one WAL lane's recovery cut for
+// RecoveredPrefixLanes: LogVar is the lane's log lock variable in the
+// events, BaseLSN the LSN the lane started at in this history (0 for a
+// lane created fresh) and LastLSN the highest LSN the recovered state
+// covers on that lane.
+type RecoveredLane struct {
+	LogVar  uint64
+	BaseLSN uint64
+	LastLSN uint64
+}
+
+// RecoveredPrefixLanes is RecoveredPrefix for a sharded store: the
+// history holds several lanes' WAL events, distinguished by log lock
+// variable, and the recovered state names a cut per lane. Three axioms:
+//
+//   - per lane, the single-log prefix axioms hold (nothing acked lost,
+//     no extension past the appended history, no holes — lanes recover
+//     by tail truncation, never by hole-punching);
+//   - cross-shard commits (several EvWALAppend sharing a TxID and a
+//     GSN) are atomic across the cuts: all of a commit's records are
+//     inside their lanes' cuts, or all are outside. A half-recovered
+//     batch is exactly the state the multi-lock atomic deferral plus
+//     presumed-abort truncation exist to rule out.
+func RecoveredPrefixLanes(events []stm.Event, lanes []RecoveredLane) []Violation {
+	var out []Violation
+	byVar := make(map[uint64]*RecoveredLane, len(lanes))
+	for i := range lanes {
+		byVar[lanes[i].LogVar] = &lanes[i]
+	}
+	type appendRec struct {
+		lane *RecoveredLane
+		lsn  uint64
+	}
+	acked := make(map[uint64]uint64)             // logVar -> max watermark
+	appended := make(map[uint64]map[uint64]bool) // logVar -> LSN set
+	maxLSN := make(map[uint64]uint64)
+	commits := make(map[uint64][]appendRec) // txID -> its lane records
+	for _, ev := range events {
+		switch ev.Kind {
+		case stm.EvWALAppend:
+			lane, ok := byVar[ev.Var]
+			if !ok {
+				out = append(out, Violation{
+					Rule: RuleDurability, TxID: ev.TxID,
+					Msg: fmt.Sprintf("append to log %d, which no recovered lane claims", ev.Var),
+				})
+				continue
+			}
+			if appended[ev.Var] == nil {
+				appended[ev.Var] = make(map[uint64]bool)
+				maxLSN[ev.Var] = lane.BaseLSN
+			}
+			appended[ev.Var][ev.Aux] = true
+			if ev.Aux > maxLSN[ev.Var] {
+				maxLSN[ev.Var] = ev.Aux
+			}
+			commits[ev.TxID] = append(commits[ev.TxID], appendRec{lane: lane, lsn: ev.Aux})
+		case stm.EvWALDurable:
+			if ev.Aux > acked[ev.Var] {
+				acked[ev.Var] = ev.Aux
+			}
+		}
+	}
+	for i := range lanes {
+		lane := &lanes[i]
+		if lane.LastLSN < acked[lane.LogVar] {
+			out = append(out, Violation{
+				Rule: RuleDurability,
+				Msg: fmt.Sprintf("lane %d lost acknowledged records: recovered through LSN %d but LSN %d was acked durable",
+					lane.LogVar, lane.LastLSN, acked[lane.LogVar]),
+			})
+		}
+		hi := maxLSN[lane.LogVar]
+		if hi == 0 {
+			hi = lane.BaseLSN
+		}
+		if lane.LastLSN > hi {
+			out = append(out, Violation{
+				Rule: RuleDurability,
+				Msg: fmt.Sprintf("lane %d recovered through LSN %d, past its appended history (through LSN %d) — not a prefix",
+					lane.LogVar, lane.LastLSN, hi),
+			})
+		}
+		for lsn := lane.BaseLSN + 1; lsn <= lane.LastLSN; lsn++ {
+			if !appended[lane.LogVar][lsn] {
+				out = append(out, Violation{
+					Rule: RuleDurability,
+					Msg: fmt.Sprintf("lane %d recovered LSN %d, which no committed transaction appended — not a prefix of the lane's serialization order",
+						lane.LogVar, lsn),
+				})
+			}
+		}
+	}
+	for txID, recs := range commits {
+		if len(recs) < 2 {
+			continue
+		}
+		in := 0
+		for _, r := range recs {
+			if r.lsn <= r.lane.LastLSN {
+				in++
+			}
+		}
+		if in != 0 && in != len(recs) {
+			out = append(out, Violation{
+				Rule: RuleDurability, TxID: txID,
+				Msg: fmt.Sprintf("cross-shard commit %d recovered on %d of its %d lanes — batch atomicity broken",
+					txID, in, len(recs)),
 			})
 		}
 	}

@@ -93,6 +93,156 @@ func TestRecoveredPrefix(t *testing.T) {
 	wantViolation(t, vs, "no committed transaction appended")
 }
 
+// appg is app on an explicit lane var, carrying a GSN in Aux2.
+func appg(lane uint64, tx, lsn, ver, gsn uint64) stm.Event {
+	return stm.Event{Kind: stm.EvWALAppend, TxID: tx, Owner: stm.OwnerID(tx), Var: lane, Aux: lsn, Ver: ver, Aux2: gsn}
+}
+
+func ackOn(lane uint64, watermark uint64) stm.Event {
+	return stm.Event{Kind: stm.EvWALDurable, Var: lane, Aux: watermark}
+}
+
+func TestDurabilityGSNOrder(t *testing.T) {
+	// Clean: GSN ascends with LSN on each lane; cross-lane interleaving
+	// is free.
+	r := History([]stm.Event{
+		appg(1, 1, 1, 10, 5),
+		appg(2, 2, 1, 20, 6),
+		appg(1, 3, 2, 30, 9),
+		appg(2, 4, 2, 40, 11),
+	})
+	if !r.OK() {
+		t.Fatalf("clean GSN history flagged: %v", r.Violations)
+	}
+	// GSN regresses within lane 1.
+	r = History([]stm.Event{appg(1, 1, 1, 10, 9), appg(1, 2, 2, 20, 5)})
+	wantViolation(t, r.Violations, "GSN order disagrees")
+	// One commit, two GSNs.
+	r = History([]stm.Event{appg(1, 1, 1, 10, 5), appg(2, 1, 1, 10, 6)})
+	wantViolation(t, r.Violations, "one commit, one GSN")
+	// One GSN, two commits.
+	r = History([]stm.Event{appg(1, 1, 1, 10, 5), appg(2, 2, 1, 20, 5)})
+	wantViolation(t, r.Violations, "issued to two committed transactions")
+}
+
+func TestRecoveredPrefixLanes(t *testing.T) {
+	// Two lanes; tx 3 commits across both with GSN 7. Lane 1 holds LSNs
+	// 1-2, lane 2 holds LSN 1 (= tx 3's sibling).
+	hist := []stm.Event{
+		appg(1, 1, 1, 10, 1),
+		appg(1, 3, 2, 30, 7), appg(2, 3, 1, 30, 7),
+		ackOn(1, 1),
+	}
+	lanes := func(l1, l2 uint64) []RecoveredLane {
+		return []RecoveredLane{{LogVar: 1, LastLSN: l1}, {LogVar: 2, LastLSN: l2}}
+	}
+	if vs := RecoveredPrefixLanes(hist, lanes(2, 1)); len(vs) != 0 {
+		t.Fatalf("full recovery flagged: %v", vs)
+	}
+	if vs := RecoveredPrefixLanes(hist, lanes(1, 0)); len(vs) != 0 {
+		t.Fatalf("presumed-abort of the whole batch flagged: %v", vs)
+	}
+	// Half the batch: lane 1 kept tx 3's record, lane 2 lost it.
+	wantViolation(t, RecoveredPrefixLanes(hist, lanes(2, 0)), "batch atomicity broken")
+	wantViolation(t, RecoveredPrefixLanes(hist, lanes(1, 1)), "batch atomicity broken")
+	// Losing an acked record on lane 1.
+	wantViolation(t, RecoveredPrefixLanes(hist, lanes(0, 0)), "lost acknowledged records")
+	// Extending past a lane's appended history.
+	wantViolation(t, RecoveredPrefixLanes(hist, lanes(2, 2)), "past its appended history")
+	// A hole in a lane (LSN 2 of lane 1 never appended).
+	holey := []stm.Event{appg(1, 1, 1, 10, 1), appg(1, 2, 3, 30, 3)}
+	wantViolation(t, RecoveredPrefixLanes(holey, lanes(3, 0)), "no committed transaction appended")
+	// An append to a lane the recovery does not claim.
+	wantViolation(t, RecoveredPrefixLanes([]stm.Event{appg(9, 1, 1, 10, 1)}, lanes(0, 0)), "no recovered lane claims")
+}
+
+// TestShardedKVHistoryDurability drives a concurrent cross-shard kv
+// workload on a 4-lane store with the recorder attached: the full
+// checker must accept the history (GSN order and uniqueness included),
+// and a clean-shutdown recovery must satisfy the per-lane prefix and
+// batch-atomicity axioms.
+func TestShardedKVHistoryDurability(t *testing.T) {
+	rec := history.New()
+	rt := stm.New(stm.Config{Recorder: rec})
+	fs := simio.NewFS(simio.Latency{})
+	s, _, err := kv.Open(rt, wal.NewSimBackend(fs), kv.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laneVars := make([]uint64, 0, 4)
+	for _, log := range s.Logs() {
+		laneVars = append(laneVars, log.Lock().VarID())
+	}
+	const goroutines = 4
+	const perG = 15
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Two keys per update: frequently a cross-shard batch.
+				tok, err := s.Update(func(tx *stm.Tx, b *kv.Batch) error {
+					b.Put(fmt.Sprintf("g%d-%d", g, i%3), fmt.Sprintf("v%d", i))
+					b.Put(fmt.Sprintf("x%d-%d", i%5, g), fmt.Sprintf("w%d", i))
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				s.WaitDurable(tok)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := rec.Events()
+	r := History(events)
+	if !r.OK() {
+		t.Fatalf("sharded live history violates properties:\n%s", r)
+	}
+	crossLane := make(map[uint64]map[uint64]bool) // txID -> lanes touched
+	for _, ev := range events {
+		if ev.Kind == stm.EvWALAppend {
+			if ev.Aux2 == 0 {
+				t.Fatal("multi-lane store appended a record with no GSN")
+			}
+			if crossLane[ev.TxID] == nil {
+				crossLane[ev.TxID] = make(map[uint64]bool)
+			}
+			crossLane[ev.TxID][ev.Var] = true
+		}
+	}
+	multi := 0
+	for _, ls := range crossLane {
+		if len(ls) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no cross-shard commit in the history — the test is vacuous")
+	}
+
+	_, info, err := kv.Open(stm.NewDefault(), wal.NewSimBackend(fs), kv.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Shards != 4 {
+		t.Fatalf("recovered %d shards, want 4", info.Shards)
+	}
+	lanes := make([]RecoveredLane, 4)
+	for i, lr := range info.Lanes {
+		lanes[i] = RecoveredLane{LogVar: laneVars[i], LastLSN: lr.LastLSN}
+	}
+	if vs := RecoveredPrefixLanes(events, lanes); len(vs) != 0 {
+		t.Fatalf("sharded recovery violates the durability axioms: %v", vs)
+	}
+}
+
 // TestKVHistoryDurability drives a real concurrent kv workload with the
 // recorder attached and feeds the history through the full checker,
 // including the durability axioms; then recovers the store and checks

@@ -15,18 +15,44 @@
 //     exactly one fsync per commit.
 //   - ModeNone: no WAL at all; an in-memory upper bound.
 //
-// Recovery (Open) replays the newest checkpoint plus all intact WAL
-// records after it, in LSN order. Because LSNs are assigned inside the
-// mutating transactions, LSN order IS the serialization order, and a
-// recovered store is always a prefix-consistent image of the committed
-// history.
+// # Shards and WAL lanes
+//
+// The key space can be partitioned into N shards (Options.Shards, a
+// power of two), each with its own map partition AND its own WAL lane —
+// a private log with lane-scoped LSNs, its own group-commit leader
+// election, and its own durable watermark — so the fsyncs of commits
+// touching different shards run in parallel. Keys route to shards by a
+// fixed FNV-1a hash (deterministic across restarts, so a key's records
+// always live in one lane and per-lane LSN order is per-key order).
+//
+// A commit touching one shard takes exactly the unsharded fast path on
+// its lane. A commit touching several shards splits its ops per lane
+// and commits via ONE atomic deferral that acquires every touched
+// lane's TxLock (in ascending lane order) at the commit and flushes the
+// lanes together, publishing no watermark until every lane's fsync has
+// returned. Each of its records is stamped with a global commit
+// sequence number (GSN) and the full lane/LSN vector of the batch, so
+// recovery can tell a complete cross-shard batch from one a crash cut
+// in half — incomplete batches are presumed aborted and their lanes'
+// tails truncated (such records were never acked: acks wait on
+// watermarks the interrupted flush never published).
+//
+// Recovery (Open) replays, per lane, the newest checkpoint plus all
+// intact WAL records after it, in LSN order. Because LSNs are assigned
+// inside the mutating transactions, lane LSN order IS the lane's
+// serialization order, and a recovered store is always a
+// prefix-consistent image of the committed history — per lane, and
+// all-or-nothing across lanes for cross-shard batches.
 package kv
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"deferstm/internal/stm"
 	"deferstm/internal/wal"
@@ -61,29 +87,85 @@ func (m Mode) String() string {
 // Options configures a Store.
 type Options struct {
 	Mode    Mode
-	Buckets int // hash buckets (0 → 1024)
-	WAL     wal.Options
+	Buckets int // hash buckets across the whole store (0 → 1024)
+	// Shards is the number of key-space shards = WAL lanes (power of
+	// two, at most MaxShards). 0 adopts whatever the directory's
+	// manifest records (1 for a fresh or pre-manifest directory); a
+	// nonzero value that disagrees with an existing manifest is an
+	// error — lane routing is baked into the on-disk layout.
+	Shards int
+	WAL    wal.Options
 }
 
-// RecoveryInfo summarizes what Open replayed.
+// LaneRecovery is one lane's slice of RecoveryInfo.
+type LaneRecovery struct {
+	Lane          int
+	CheckpointLSN uint64 // 0 when the lane had no checkpoint
+	Replayed      int    // records applied after the checkpoint
+	LastLSN       uint64 // highest LSN the lane's recovered state covers
+	TornBytes     int    // bytes truncated from the lane's torn tail
+	// TruncatedAt is the first LSN dropped by cross-shard presumed
+	// abort (0 = none): a batch this lane recorded was missing a
+	// sibling record on another lane, so this record and the lane's
+	// tail after it — none of which were ever acked — were cut.
+	TruncatedAt uint64
+}
+
+// RecoveryInfo summarizes what Open replayed. For a multi-lane store
+// the scalar fields aggregate across lanes (CheckpointLSN and LastLSN
+// are sums of the per-lane values — totals of log positions, not
+// single-log watermarks); Lanes carries the per-lane breakdown.
 type RecoveryInfo struct {
 	CheckpointLSN uint64 // 0 when no checkpoint existed
-	Replayed      int    // WAL records applied after the checkpoint
-	LastLSN       uint64 // highest LSN the recovered state covers
-	TornBytes     int    // bytes truncated from a torn tail
+	Replayed      int    // WAL records applied after the checkpoint(s)
+	LastLSN       uint64 // highest LSN (sum over lanes) recovery covers
+	TornBytes     int    // bytes truncated from torn tails
 	Keys          int    // keys present after recovery
+	Shards        int    // lane count the store opened with
+	MaxGSN        uint64 // highest global commit sequence number replayed
+	// SkippedRecords counts records dropped by cross-shard presumed
+	// abort (tail truncation of lanes with incomplete batches).
+	SkippedRecords int
+	Lanes          []LaneRecovery // per-lane breakdown, ascending
+}
+
+// shard pairs one key-space partition with its WAL lane.
+type shard struct {
+	m   *smap
+	log *wal.Log // nil in ModeNone
 }
 
 // Store is a durable transactional key/value store. All methods are safe
 // for concurrent use.
 type Store struct {
-	rt   *stm.Runtime
-	mode Mode
-	log  *wal.Log // nil in ModeNone
-	m    *smap
+	rt     *stm.Runtime
+	mode   Mode
+	shards []shard
+	mask   uint64
+	gsn    atomic.Uint64 // last GSN issued; multi-lane stores only
 
 	closeOnce sync.Once
 	closeErr  error
+}
+
+// shardOf routes key to its shard by FNV-1a. The hash is deliberately
+// seedless: routing must be identical across restarts, or a key's
+// records would migrate between lanes and per-lane replay order would
+// stop being per-key order.
+func (s *Store) shardOf(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h & s.mask)
+}
+
+func validShards(n int) error {
+	if n < 1 || n > MaxShards || bits.OnesCount(uint(n)) != 1 {
+		return fmt.Errorf("kv: shard count %d: must be a power of two in [1,%d]", n, MaxShards)
+	}
+	return nil
 }
 
 // Open recovers (or creates) a store on backend b. b may be nil only in
@@ -92,58 +174,263 @@ func Open(rt *stm.Runtime, b wal.Backend, opts Options) (*Store, *RecoveryInfo, 
 	if opts.Buckets <= 0 {
 		opts.Buckets = 1024
 	}
-	s := &Store{rt: rt, mode: opts.Mode, m: newSmap(opts.Buckets)}
 	info := &RecoveryInfo{}
+
 	if opts.Mode == ModeNone {
+		lanes := opts.Shards
+		if lanes == 0 {
+			lanes = 1
+		}
+		if err := validShards(lanes); err != nil {
+			return nil, nil, err
+		}
+		s := newStore(rt, opts, lanes)
+		info.Shards = lanes
 		return s, info, nil
 	}
 	if b == nil {
 		return nil, nil, errors.New("kv: durable mode needs a backend")
 	}
-	log, rec, err := wal.Open(rt, b, opts.WAL)
+
+	// Pin the lane count: the manifest wins, a fresh directory takes
+	// opts.Shards, and a disagreement is fatal — reopening a 4-lane
+	// directory with -shards 2 would replay half its lanes and route
+	// keys to the wrong logs.
+	onDisk, needManifest, err := detectLanes(b)
 	if err != nil {
 		return nil, nil, err
 	}
-	s.log = log
-	info.CheckpointLSN = rec.CheckpointLSN
-	info.LastLSN = rec.LastLSN
-	info.TornBytes = rec.TornBytes
-
-	// Replay: checkpoint image first, then each record's ops, one
-	// transaction per record so replay transactions stay small. The store
-	// is not shared yet, so these commit without contention.
-	if rec.Checkpoint != nil {
-		kvs, err := decodeSnapshot(rec.Checkpoint)
-		if err != nil {
-			return nil, nil, fmt.Errorf("kv: checkpoint: %w", err)
-		}
-		if err := rt.Atomic(func(tx *stm.Tx) error {
-			for k, v := range kvs {
-				s.m.put(tx, k, v)
-			}
-			return nil
-		}); err != nil {
+	lanes := opts.Shards
+	switch {
+	case lanes == 0 && onDisk == 0:
+		lanes = 1
+	case lanes == 0:
+		lanes = onDisk
+	case onDisk != 0 && onDisk != lanes:
+		return nil, nil, fmt.Errorf(
+			"kv: store was created with %d WAL lanes but reopened with -shards %d; the lane count is fixed at creation (pass %d, or 0 to adopt)",
+			onDisk, lanes, onDisk)
+	}
+	if err := validShards(lanes); err != nil {
+		return nil, nil, err
+	}
+	if needManifest {
+		if err := writeManifest(b, lanes); err != nil {
 			return nil, nil, err
 		}
 	}
-	for _, r := range rec.Records {
-		ops, err := DecodeOps(r.Payload)
-		if err != nil {
-			return nil, nil, fmt.Errorf("kv: record %d: %w", r.LSN, err)
-		}
-		if err := rt.Atomic(func(tx *stm.Tx) error {
-			applyOps(tx, s.m, ops)
-			return nil
-		}); err != nil {
-			return nil, nil, err
-		}
-		info.Replayed++
+
+	s := newStore(rt, opts, lanes)
+	info.Shards = lanes
+	if err := s.recover(b, opts.WAL, info); err != nil {
+		return nil, nil, err
 	}
 	_ = rt.Atomic(func(tx *stm.Tx) error {
-		info.Keys = s.m.length(tx)
+		info.Keys = s.Len(tx)
 		return nil
 	})
 	return s, info, nil
+}
+
+func newStore(rt *stm.Runtime, opts Options, lanes int) *Store {
+	perShard := opts.Buckets / lanes
+	if perShard < 64 {
+		perShard = 64
+	}
+	s := &Store{rt: rt, mode: opts.Mode, mask: uint64(lanes - 1)}
+	s.shards = make([]shard, lanes)
+	for i := range s.shards {
+		s.shards[i].m = newSmap(perShard)
+	}
+	return s
+}
+
+// recover opens every lane, presumes incomplete cross-shard batches
+// aborted (truncating lane tails), and replays checkpoint images and
+// surviving records into the shard maps.
+func (s *Store) recover(b wal.Backend, wopts wal.Options, info *RecoveryInfo) error {
+	lanes := len(s.shards)
+	recs := make([]*wal.Recovery, lanes)
+	for i := range s.shards {
+		log, rec, err := wal.Open(s.rt, laneBackend(b, i, lanes), wopts)
+		if err != nil {
+			return fmt.Errorf("kv: lane %d: %w", i, err)
+		}
+		s.shards[i].log = log
+		recs[i] = rec
+	}
+
+	var cuts []uint64
+	if lanes > 1 {
+		var err error
+		cuts, err = crossLaneCuts(recs)
+		if err != nil {
+			return err
+		}
+		for i, cut := range cuts {
+			if cut == 0 {
+				continue
+			}
+			// Drop the incomplete batch and the lane's tail after it,
+			// then reopen the lane so LSN assignment resumes below the
+			// cut. The dropped records were never acked (the flush that
+			// would have published their watermark never finished), so
+			// presuming them aborted loses nothing that was promised.
+			for _, r := range recs[i].Records {
+				if r.LSN >= cut {
+					info.SkippedRecords++
+				}
+			}
+			if err := s.shards[i].log.Close(); err != nil {
+				return fmt.Errorf("kv: lane %d: close for truncation: %w", i, err)
+			}
+			lb := laneBackend(b, i, lanes)
+			if err := wal.TruncateTail(lb, recs[i], cut); err != nil {
+				return fmt.Errorf("kv: lane %d: %w", i, err)
+			}
+			log, rec, err := wal.Open(s.rt, lb, wopts)
+			if err != nil {
+				return fmt.Errorf("kv: lane %d: reopen after truncation: %w", i, err)
+			}
+			s.shards[i].log = log
+			recs[i] = rec
+		}
+	}
+
+	for i, rec := range recs {
+		lr := LaneRecovery{
+			Lane:          i,
+			CheckpointLSN: rec.CheckpointLSN,
+			LastLSN:       rec.LastLSN,
+			TornBytes:     rec.TornBytes,
+		}
+		if cuts != nil {
+			lr.TruncatedAt = cuts[i]
+		}
+		if rec.Checkpoint != nil {
+			kvs, err := decodeSnapshot(rec.Checkpoint)
+			if err != nil {
+				return fmt.Errorf("kv: lane %d checkpoint: %w", i, err)
+			}
+			m := s.shards[i].m
+			if err := s.rt.Atomic(func(tx *stm.Tx) error {
+				for k, v := range kvs {
+					m.put(tx, k, v)
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		// Replay: one transaction per record so replay transactions stay
+		// small. The store is not shared yet, so these commit without
+		// contention.
+		for _, r := range rec.Records {
+			ops, gsn, err := s.decodePayload(r.Payload)
+			if err != nil {
+				return fmt.Errorf("kv: lane %d record %d: %w", i, r.LSN, err)
+			}
+			if gsn > info.MaxGSN {
+				info.MaxGSN = gsn
+			}
+			m := s.shards[i].m
+			if err := s.rt.Atomic(func(tx *stm.Tx) error {
+				applyOps(tx, m, ops)
+				return nil
+			}); err != nil {
+				return err
+			}
+			lr.Replayed++
+		}
+		info.CheckpointLSN += rec.CheckpointLSN
+		info.LastLSN += rec.LastLSN
+		info.TornBytes += rec.TornBytes
+		info.Replayed += lr.Replayed
+		info.Lanes = append(info.Lanes, lr)
+	}
+	s.gsn.Store(info.MaxGSN)
+	return nil
+}
+
+// decodePayload parses one lane record: multi-lane stores carry the
+// GSN+vector header, single-lane stores the bare op list (byte-identical
+// to the pre-lane format).
+func (s *Store) decodePayload(payload []byte) ([]Op, uint64, error) {
+	if len(s.shards) == 1 {
+		ops, err := DecodeOps(payload)
+		return ops, 0, err
+	}
+	gsn, _, ops, err := decodeLaneRecord(payload)
+	return ops, gsn, err
+}
+
+// crossLaneCuts decides, per lane, the first LSN to drop: the lane's
+// earliest record of a cross-shard batch missing a sibling. A sibling
+// point is satisfied if its lane recovered that LSN below its own cut,
+// or already folded it into a checkpoint (checkpoints never contain
+// incomplete batches: the cross-lane flush holds every touched lane's
+// TxLock from commit to last fsync, and Checkpoint serializes on that
+// same lock). Cutting one lane can orphan a batch another lane thought
+// complete, so the cuts iterate to a fixed point; each pass only
+// lowers cuts, so it terminates.
+func crossLaneCuts(recs []*wal.Recovery) ([]uint64, error) {
+	type rec struct {
+		lsn uint64
+		pts []LanePoint
+	}
+	decoded := make([][]rec, len(recs))
+	present := make([]map[uint64]bool, len(recs))
+	for i, r := range recs {
+		present[i] = make(map[uint64]bool, len(r.Records))
+		for _, rr := range r.Records {
+			gsn, pts, _, err := decodeLaneRecord(rr.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("kv: lane %d record %d: %w", i, rr.LSN, err)
+			}
+			_ = gsn
+			for _, p := range pts {
+				if p.Lane < 0 || p.Lane >= len(recs) {
+					return nil, fmt.Errorf("kv: lane %d record %d: vector names lane %d of %d", i, rr.LSN, p.Lane, len(recs))
+				}
+			}
+			decoded[i] = append(decoded[i], rec{lsn: rr.LSN, pts: pts})
+			present[i][rr.LSN] = true
+		}
+	}
+	cut := make([]uint64, len(recs))
+	kept := func(lane int, lsn uint64) bool {
+		if lsn <= recs[lane].CheckpointLSN {
+			return true
+		}
+		return present[lane][lsn] && (cut[lane] == 0 || lsn < cut[lane])
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, lane := range decoded {
+			for _, r := range lane {
+				if cut[i] != 0 && r.lsn >= cut[i] {
+					break // already dropped; records are ascending
+				}
+				if len(r.pts) <= 1 {
+					continue
+				}
+				for _, p := range r.pts {
+					if p.Lane == i {
+						continue
+					}
+					if !kept(p.Lane, p.LSN) {
+						cut[i] = r.lsn
+						changed = true
+						break
+					}
+				}
+				if cut[i] != 0 && r.lsn >= cut[i] {
+					break
+				}
+			}
+		}
+	}
+	return cut, nil
 }
 
 func applyOps(tx *stm.Tx, m *smap, ops []Op) {
@@ -158,70 +445,170 @@ func applyOps(tx *stm.Tx, m *smap, ops []Op) {
 
 // Batch accumulates one transaction's mutations: each Put/Delete applies
 // to the store immediately (inside the transaction, so the transaction
-// reads its own writes) and is recorded for the commit's WAL record.
+// reads its own writes) and is recorded — per touched shard — for the
+// commit's WAL record(s).
 type Batch struct {
-	s   *Store
-	tx  *stm.Tx
-	ops []Op
+	s  *Store
+	tx *stm.Tx
+	n  int
+	// single holds the ops of a 1-shard store (the unsharded layout);
+	// perShard, indexed by shard, those of a sharded one.
+	single   []Op
+	perShard [][]Op
+}
+
+func (b *Batch) add(sh int, op Op) {
+	b.n++
+	if len(b.s.shards) == 1 {
+		b.single = append(b.single, op)
+		return
+	}
+	if b.perShard == nil {
+		b.perShard = make([][]Op, len(b.s.shards))
+	}
+	b.perShard[sh] = append(b.perShard[sh], op)
 }
 
 // Get reads key inside the batch's transaction.
-func (b *Batch) Get(key string) (string, bool) { return b.s.m.get(b.tx, key) }
+func (b *Batch) Get(key string) (string, bool) {
+	return b.s.shards[b.s.shardOf(key)].m.get(b.tx, key)
+}
 
 // Put sets key to value.
 func (b *Batch) Put(key, value string) {
-	b.s.m.put(b.tx, key, value)
-	b.ops = append(b.ops, Op{Put: true, Key: key, Value: value})
+	sh := b.s.shardOf(key)
+	b.s.shards[sh].m.put(b.tx, key, value)
+	b.add(sh, Op{Put: true, Key: key, Value: value})
 }
 
 // Delete removes key (a no-op delete is still logged; replay is
 // idempotent about it).
 func (b *Batch) Delete(key string) {
-	b.s.m.delete(b.tx, key)
-	b.ops = append(b.ops, Op{Key: key})
+	sh := b.s.shardOf(key)
+	b.s.shards[sh].m.delete(b.tx, key)
+	b.add(sh, Op{Key: key})
 }
 
 // Len reports the number of mutations so far.
-func (b *Batch) Len() int { return len(b.ops) }
+func (b *Batch) Len() int { return b.n }
 
-// Update runs fn as one atomic, durable mutation of the store and returns
-// the LSN of its WAL record (0 for a read-only fn or in ModeNone). In
-// ModeGroup the returned LSN is not yet durable — it becomes durable when
-// the deferred group-commit flush covers it; call WaitDurable(lsn) for a
-// synchronous guarantee. In ModeSync the record is durable on return.
+// touched returns the ascending shard indices the batch mutated.
+func (b *Batch) touched() []int {
+	var t []int
+	for sh, ops := range b.perShard {
+		if len(ops) > 0 {
+			t = append(t, sh)
+		}
+	}
+	sort.Ints(t)
+	return t
+}
+
+// Update runs fn as one atomic, durable mutation of the store and
+// returns a durability token for its WAL record(s) — 0 for a read-only
+// fn or in ModeNone. On a single-shard store the token is the plain
+// LSN; on a sharded store it packs the home lane (the lowest touched
+// lane) and that lane's LSN (see PackToken). In ModeGroup the token is
+// not yet durable on return — call WaitDurable(token) for a synchronous
+// guarantee; waiting on a cross-shard commit's token covers the whole
+// batch, because the cross-lane flush publishes no watermark until
+// every touched lane is fsynced. In ModeSync the record(s) are durable
+// on return.
 //
 // fn may re-execute (optimistic retry); it must be idempotent apart from
 // its Batch mutations, which reset on retry.
 func (s *Store) Update(fn func(tx *stm.Tx, b *Batch) error) (uint64, error) {
-	var lsn uint64
+	var token uint64
 	run := func(tx *stm.Tx) error {
-		lsn = 0
+		token = 0
 		b := &Batch{s: s, tx: tx}
 		if err := fn(tx, b); err != nil {
 			return err
 		}
-		if s.log == nil || len(b.ops) == 0 {
+		if s.shards[0].log == nil || b.n == 0 {
 			return nil
 		}
-		payload := EncodeOps(b.ops)
-		if s.mode == ModeSync {
-			var err error
-			lsn, err = s.log.AppendSync(tx, payload)
-			return err
+		if len(s.shards) == 1 {
+			// The unsharded fast path, untouched: one log, bare payload,
+			// no GSN.
+			payload := EncodeOps(b.single)
+			if s.mode == ModeSync {
+				var err error
+				token, err = s.shards[0].log.AppendSync(tx, payload)
+				return err
+			}
+			token = s.shards[0].log.Append(tx, payload)
+			return nil
 		}
-		lsn = s.log.Append(tx, payload)
-		return nil
+		var err error
+		token, err = s.commitLanes(tx, b)
+		return err
 	}
 	var err error
 	if s.mode == ModeSync {
-		err = s.rt.AtomicSerial(func(tx *stm.Tx) error { return run(tx) })
+		err = s.rt.AtomicSerial(run)
 	} else {
 		err = s.rt.Atomic(run)
 	}
 	if err != nil {
 		return 0, err
 	}
-	return lsn, nil
+	return token, nil
+}
+
+// commitLanes appends a sharded commit's per-lane records. Every record
+// carries the commit's GSN and full lane/LSN vector; a commit touching
+// several lanes flushes them through one multi-lock atomic deferral.
+func (s *Store) commitLanes(tx *stm.Tx, b *Batch) (uint64, error) {
+	touched := b.touched()
+
+	if s.mode == ModeSync {
+		// Serial transactions run exclusively, so each lane's next LSN
+		// is exactly LastAssigned+1 — predict the vector, then append.
+		pts := make([]LanePoint, len(touched))
+		for i, sh := range touched {
+			pts[i] = LanePoint{Lane: sh, LSN: s.shards[sh].log.LastAssigned(tx) + 1}
+		}
+		gsn := s.gsn.Add(1)
+		for i, sh := range touched {
+			lsn, err := s.shards[sh].log.AppendSyncWith(tx, gsn, encodeLaneRecord(gsn, pts, b.perShard[sh]))
+			if err != nil {
+				return 0, err
+			}
+			if lsn != pts[i].LSN {
+				panic(fmt.Sprintf("kv: serial lane %d assigned LSN %d, predicted %d", sh, lsn, pts[i].LSN))
+			}
+		}
+		return PackToken(touched[0], pts[0].LSN), nil
+	}
+
+	// Reserve every touched lane's LSN first (the payload header needs
+	// the complete vector), then draw the GSN. The order matters:
+	// reserving conflicts with every other commit on the same lane, so
+	// by the time this attempt can commit, every earlier commit on each
+	// touched lane has already drawn its (smaller) GSN — GSNs are
+	// monotone in LSN within every lane. Aborted attempts leave GSN
+	// gaps; nothing cares.
+	pts := make([]LanePoint, len(touched))
+	for i, sh := range touched {
+		pts[i] = LanePoint{Lane: sh, LSN: s.shards[sh].log.Reserve(tx)}
+	}
+	gsn := s.gsn.Add(1)
+	for i, sh := range touched {
+		s.shards[sh].log.EnqueueReserved(tx, pts[i].LSN, gsn, encodeLaneRecord(gsn, pts, b.perShard[sh]))
+	}
+	if len(touched) == 1 {
+		// Single-shard commit: the lane's ordinary group-commit path,
+		// leader election, follower fast path and all.
+		s.shards[touched[0]].log.DeferFlush(tx, pts[0].LSN)
+	} else {
+		logs := make([]*wal.Log, len(touched))
+		for i, sh := range touched {
+			logs[i] = s.shards[sh].log
+		}
+		wal.DeferFlushGroup(tx, logs)
+	}
+	return PackToken(touched[0], pts[0].LSN), nil
 }
 
 // View runs fn as a read-only transaction over the store.
@@ -230,61 +617,119 @@ func (s *Store) View(fn func(tx *stm.Tx) error) error {
 }
 
 // Get reads key inside tx (for composing with other transactional state).
-func (s *Store) Get(tx *stm.Tx, key string) (string, bool) { return s.m.get(tx, key) }
+func (s *Store) Get(tx *stm.Tx, key string) (string, bool) {
+	return s.shards[s.shardOf(key)].m.get(tx, key)
+}
 
 // Len reports the number of keys inside tx.
-func (s *Store) Len(tx *stm.Tx) int { return s.m.length(tx) }
+func (s *Store) Len(tx *stm.Tx) int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].m.length(tx)
+	}
+	return n
+}
 
-// Range iterates all entries inside tx until fn returns false.
-func (s *Store) Range(tx *stm.Tx, fn func(k, v string) bool) { s.m.rangeAll(tx, fn) }
+// Range iterates all entries inside tx until fn returns false, shard by
+// shard (iteration order is unspecified, as it always was).
+func (s *Store) Range(tx *stm.Tx, fn func(k, v string) bool) {
+	for i := range s.shards {
+		done := false
+		s.shards[i].m.rangeAll(tx, func(k, v string) bool {
+			if !fn(k, v) {
+				done = true
+				return false
+			}
+			return true
+		})
+		if done {
+			return
+		}
+	}
+}
 
-// WaitDurable blocks until the WAL flush covering lsn has completed
-// (returns immediately for lsn 0 or in ModeNone).
-func (s *Store) WaitDurable(lsn uint64) {
-	if s.log == nil || lsn == 0 {
+// WaitDurable blocks until the WAL flush covering token has completed
+// (returns immediately for token 0 or in ModeNone). For a cross-shard
+// commit's token this covers the whole batch — see Update.
+func (s *Store) WaitDurable(token uint64) {
+	if s.shards[0].log == nil || token == 0 {
 		return
 	}
-	s.log.WaitDurable(lsn)
+	s.laneOf(token).WaitDurable(TokenLSN(token))
 }
 
 // WaitDurableCtx is WaitDurable with cancellation and deadline support:
-// it returns ctx.Err() if ctx ends before lsn is durable (the record may
-// still become durable later — cancellation abandons the wait, not the
-// flush). Returns nil immediately for lsn 0 or in ModeNone.
-func (s *Store) WaitDurableCtx(ctx context.Context, lsn uint64) error {
-	if s.log == nil || lsn == 0 {
+// it returns ctx.Err() if ctx ends before token is durable (the record
+// may still become durable later — cancellation abandons the wait, not
+// the flush). Returns nil immediately for token 0 or in ModeNone.
+func (s *Store) WaitDurableCtx(ctx context.Context, token uint64) error {
+	if s.shards[0].log == nil || token == 0 {
 		return nil
 	}
-	return s.log.WaitDurableCtx(ctx, lsn)
+	return s.laneOf(token).WaitDurableCtx(ctx, TokenLSN(token))
 }
 
-// LastDurable returns the durability watermark inside tx, serializing
-// behind any in-flight flush (0 in ModeNone).
+func (s *Store) laneOf(token uint64) *wal.Log {
+	lane := TokenLane(token)
+	if lane < 0 || lane >= len(s.shards) {
+		panic(fmt.Sprintf("kv: token names lane %d of a %d-lane store", lane, len(s.shards)))
+	}
+	return s.shards[lane].log
+}
+
+// LastDurable returns lane 0's durability watermark inside tx,
+// serializing behind any in-flight flush on that lane (0 in ModeNone).
+// Sharded callers that want the full picture iterate Logs().
 func (s *Store) LastDurable(tx *stm.Tx) uint64 {
-	if s.log == nil {
+	if s.shards[0].log == nil {
 		return 0
 	}
-	return s.log.LastDurable(tx)
+	return s.shards[0].log.LastDurable(tx)
 }
 
-// Checkpoint snapshots the store into the log's new recovery base and
-// prunes covered segments. Returns the covered LSN.
+// Checkpoint snapshots every shard into its lane's new recovery base
+// and prunes covered segments, one lane at a time. Returns the sum of
+// the covered LSNs. A lane checkpoint can never capture half of a
+// cross-shard batch: the batch's flush holds the lane's TxLock from
+// commit to its last fsync, and Checkpoint serializes on that lock.
 func (s *Store) Checkpoint() (uint64, error) {
-	if s.log == nil {
+	if s.shards[0].log == nil {
 		return 0, errors.New("kv: checkpoint without a WAL")
 	}
-	return s.log.Checkpoint(func(tx *stm.Tx) ([]byte, uint64, error) {
-		kvs := make(map[string]string)
-		s.m.rangeAll(tx, func(k, v string) bool {
-			kvs[k] = v
-			return true
+	var total uint64
+	for i := range s.shards {
+		m, log := s.shards[i].m, s.shards[i].log
+		covered, err := log.Checkpoint(func(tx *stm.Tx) ([]byte, uint64, error) {
+			kvs := make(map[string]string)
+			m.rangeAll(tx, func(k, v string) bool {
+				kvs[k] = v
+				return true
+			})
+			return encodeSnapshot(kvs), log.LastAssigned(tx), nil
 		})
-		return encodeSnapshot(kvs), s.log.LastAssigned(tx), nil
-	})
+		if err != nil {
+			return total, fmt.Errorf("kv: checkpoint lane %d: %w", i, err)
+		}
+		total += covered
+	}
+	return total, nil
 }
 
-// Log exposes the underlying WAL (nil in ModeNone) for stats and waits.
-func (s *Store) Log() *wal.Log { return s.log }
+// Log exposes lane 0's WAL (nil in ModeNone) for stats and waits;
+// sharded callers usually want Logs.
+func (s *Store) Log() *wal.Log { return s.shards[0].log }
+
+// Logs returns every lane's WAL in lane order (nils in ModeNone).
+func (s *Store) Logs() []*wal.Log {
+	logs := make([]*wal.Log, len(s.shards))
+	for i := range s.shards {
+		logs[i] = s.shards[i].log
+	}
+	return logs
+}
+
+// Shards reports the store's shard (= WAL lane) count.
+func (s *Store) Shards() int { return len(s.shards) }
 
 // Mode reports the store's durability mode.
 func (s *Store) Mode() Mode { return s.mode }
@@ -292,15 +737,21 @@ func (s *Store) Mode() Mode { return s.mode }
 // Runtime returns the STM runtime the store's transactions run on.
 func (s *Store) Runtime() *stm.Runtime { return s.rt }
 
-// Close flushes and closes the WAL (no-op in ModeNone). Concurrent
-// updates must have stopped. Close is idempotent and safe for
-// concurrent use: every caller observes the first call's result, so
+// Close flushes and closes every WAL lane (no-op in ModeNone).
+// Concurrent updates must have stopped. Close is idempotent and safe
+// for concurrent use: every caller observes the first call's result, so
 // overlapping shutdown paths (a server's signal handler racing its
 // deferred cleanup) cannot double-close the WAL.
 func (s *Store) Close() error {
-	if s.log == nil {
+	if s.shards[0].log == nil {
 		return nil
 	}
-	s.closeOnce.Do(func() { s.closeErr = s.log.Close() })
+	s.closeOnce.Do(func() {
+		for i := range s.shards {
+			if err := s.shards[i].log.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
 	return s.closeErr
 }

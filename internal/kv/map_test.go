@@ -112,8 +112,8 @@ func TestStoreConcurrentUpdatesAcrossResize(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	smapSettled(t, s.m)
-	if s.m.resizes.Load() == 0 {
+	smapSettled(t, s.shards[0].m)
+	if s.shards[0].m.resizes.Load() == 0 {
 		t.Fatal("no resize completed; test is vacuous")
 	}
 	got := dump(t, s)
@@ -165,8 +165,8 @@ func TestStoreGroupCommitResizeCheckedHistory(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	smapSettled(t, s.m)
-	if s.m.resizes.Load() == 0 {
+	smapSettled(t, s.shards[0].m)
+	if s.shards[0].m.resizes.Load() == 0 {
 		t.Fatal("no resize completed; composition not exercised")
 	}
 	live := dump(t, s)

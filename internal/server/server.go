@@ -79,14 +79,19 @@ type Server struct {
 // Stats is the STATS response payload (and /kv/stats JSON): store and
 // wire-level counters a load generator needs to compute fsyncs/commit
 // and durable lag across a run. WALFlushes counts group-commit
-// drain+fsync cycles — the fsync count, up to rare segment rotations —
-// and WALRecords the commits those flushes covered.
+// drain+fsync cycles and WALFsyncs every fsync issued (flushes plus
+// segment rotations and checkpoints); WALRecords the commits those
+// flushes covered. On a sharded store the WAL fields aggregate across
+// lanes (LastAssigned and Durable are sums of per-lane watermarks —
+// totals of log positions, not single-log LSNs).
 type Stats struct {
 	Mode         string            `json:"mode"`
+	Shards       int               `json:"shards"`
 	Keys         int               `json:"keys"`
 	LastAssigned uint64            `json:"last_assigned_lsn"`
 	Durable      uint64            `json:"durable_lsn"`
 	WALFlushes   uint64            `json:"wal_flushes"`
+	WALFsyncs    uint64            `json:"wal_fsyncs"`
 	WALRecords   uint64            `json:"wal_records"`
 	WALMeanBatch float64           `json:"wal_mean_batch"`
 	WALMaxBatch  uint64            `json:"wal_max_batch"`
@@ -115,17 +120,18 @@ func New(store *kv.Store, opts Options) *Server {
 	reg.GaugeFunc("deferstm_server_conns", "Open client connections.",
 		func() float64 { return float64(s.nConns.Load()) })
 	reg.GaugeFunc("deferstm_server_durable_lag_records",
-		"Assigned-but-not-yet-durable WAL records (group-commit depth).",
+		"Assigned-but-not-yet-durable WAL records (group-commit depth), summed over lanes.",
 		func() float64 {
-			log := store.Log()
-			if log == nil {
-				return 0
+			var lag float64
+			for _, log := range store.Logs() {
+				if log == nil {
+					return 0
+				}
+				if a, d := log.AssignedWatermark(), log.DurableWatermark(); a > d {
+					lag += float64(a - d)
+				}
 			}
-			a, d := log.AssignedWatermark(), log.DurableWatermark()
-			if a < d {
-				return 0
-			}
-			return float64(a - d)
+			return lag
 		})
 	for op, name := range map[byte]string{
 		OpGet: "get", OpPut: "put", OpDel: "del",
@@ -218,20 +224,34 @@ func (s *Server) Stats() Stats {
 	} {
 		st.Requests[name] = s.reqs[op].Load()
 	}
+	st.Shards = s.store.Shards()
 	_ = s.store.View(func(tx *stm.Tx) error {
 		st.Keys = s.store.Len(tx)
-		if log := s.store.Log(); log != nil {
-			st.LastAssigned = log.LastAssigned(tx)
+		for _, log := range s.store.Logs() {
+			if log != nil {
+				st.LastAssigned += log.LastAssigned(tx)
+			}
 		}
 		return nil
 	})
-	if log := s.store.Log(); log != nil {
-		st.Durable = log.DurableWatermark()
+	var batchSum, flushSum uint64
+	for _, log := range s.store.Logs() {
+		if log == nil {
+			continue
+		}
+		st.Durable += log.DurableWatermark()
 		bs := log.BatchStats()
-		st.WALFlushes = bs.Flushes
-		st.WALRecords = bs.Records
-		st.WALMeanBatch = bs.Mean()
-		st.WALMaxBatch = bs.MaxBatch
+		st.WALFlushes += bs.Flushes
+		st.WALFsyncs += bs.Fsyncs
+		st.WALRecords += bs.Records
+		batchSum += bs.Records
+		flushSum += bs.Flushes
+		if bs.MaxBatch > st.WALMaxBatch {
+			st.WALMaxBatch = bs.MaxBatch
+		}
+	}
+	if flushSum > 0 {
+		st.WALMeanBatch = float64(batchSum) / float64(flushSum)
 	}
 	return st
 }
@@ -293,11 +313,18 @@ func (s *Server) handleConn(nc net.Conn) {
 			}
 			if p.resp.Status == StatusOK && p.resp.Op == OpWatch {
 				// WATCH resolves here, in response order, like any
-				// mutation ack: wait for the watermark, then report it.
+				// mutation ack: wait for the watched token, then report
+				// the fresh watermark of the token's lane (as a token,
+				// so a sharded client can keep chaining watches).
 				if s.store.WaitDurableCtx(ctx, p.resp.Water) != nil {
 					return
 				}
-				if log := s.store.Log(); log != nil {
+				if p.resp.Water > 0 {
+					lane := kv.TokenLane(p.resp.Water)
+					if log := s.store.Logs()[lane]; log != nil {
+						p.resp.Water = kv.PackToken(lane, log.DurableWatermark())
+					}
+				} else if log := s.store.Log(); log != nil {
 					p.resp.Water = log.DurableWatermark()
 				}
 			}
@@ -427,22 +454,29 @@ func (s *Server) execute(req Request) pend {
 		}
 		p.resp.LSN = lsn
 	case OpWatch:
-		log := s.store.Log()
-		if log == nil {
+		if s.store.Log() == nil {
 			if req.LSN > 0 {
 				return fail(errors.New("server: WATCH on a store with no WAL"))
 			}
 			return p
 		}
+		// The watched value is a durability token: its top bits route to
+		// a WAL lane. A token naming a lane the store does not have is a
+		// client bug, not a reason to wait (or panic).
+		lane := kv.TokenLane(req.LSN)
+		if lane >= s.store.Shards() {
+			return fail(fmt.Errorf("server: WATCH token names lane %d of a %d-lane store", lane, s.store.Shards()))
+		}
+		log := s.store.Logs()[lane]
 		var assigned uint64
 		_ = s.store.View(func(tx *stm.Tx) error {
 			assigned = log.LastAssigned(tx)
 			return nil
 		})
-		if req.LSN > assigned {
+		if kv.TokenLSN(req.LSN) > assigned {
 			// A watch past the assigned history would block this
 			// connection's response stream forever; refuse it.
-			return fail(fmt.Errorf("server: WATCH %d beyond assigned LSN %d", req.LSN, assigned))
+			return fail(fmt.Errorf("server: WATCH %d beyond assigned LSN %d on lane %d", kv.TokenLSN(req.LSN), assigned, lane))
 		}
 		p.resp.Water = req.LSN
 	case OpStats:

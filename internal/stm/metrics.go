@@ -153,6 +153,7 @@ func RegisterStats(reg *obs.Registry, snap func() StatsSnapshot) {
 		{"deferstm_injected_faults_total", func(s StatsSnapshot) uint64 { return s.InjectedFaults }},
 		{"deferstm_wal_records_total", func(s StatsSnapshot) uint64 { return s.WALRecords }},
 		{"deferstm_wal_flushes_total", func(s StatsSnapshot) uint64 { return s.WALFlushes }},
+		{"deferstm_wal_fsyncs_total", func(s StatsSnapshot) uint64 { return s.WALFsyncs }},
 		{"deferstm_wal_checkpoints_total", func(s StatsSnapshot) uint64 { return s.WALCheckpoints }},
 	} {
 		get := sr.get

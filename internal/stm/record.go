@@ -53,10 +53,14 @@ const (
 
 	// WAL events are emitted by package wal. EvWALAppend is queued on the
 	// appending transaction (flushed only if it commits): Aux is the LSN
-	// it reserved, Var the log's lock owner-variable ID. EvWALDurable is
-	// emitted by a flush after its fsync returned: Aux is the new durable
-	// watermark — every record with LSN ≤ Aux is on stable storage. The
-	// durability checker (internal/check) consumes both.
+	// it reserved, Var the log's lock owner-variable ID, and Aux2 the
+	// global commit sequence number when the store runs with multiple
+	// WAL lanes (0 on a single-lane store — GSNs start at 1). A commit
+	// that touches several lanes emits one EvWALAppend per lane, all
+	// sharing the TxID and the GSN. EvWALDurable is emitted by a flush
+	// after its fsync returned: Aux is the new durable watermark — every
+	// record with LSN ≤ Aux is on stable storage. The durability checker
+	// (internal/check) consumes both.
 	EvWALAppend
 	EvWALDurable
 
@@ -158,11 +162,16 @@ type Event struct {
 	Var   uint64 // variable ID (see Var.ID)
 	Ver   uint64 // version-clock timestamp
 	Aux   uint64 // kind-specific (see the kind constants)
+	Aux2  uint64 // second kind-specific slot (EvWALAppend: the GSN)
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("#%d %s tx=%d owner=%d var=%d ver=%d aux=%d",
+	s := fmt.Sprintf("#%d %s tx=%d owner=%d var=%d ver=%d aux=%d",
 		e.Seq, e.Kind, e.TxID, e.Owner, e.Var, e.Ver, e.Aux)
+	if e.Aux2 != 0 {
+		s += fmt.Sprintf(" aux2=%d", e.Aux2)
+	}
+	return s
 }
 
 // Recorder consumes runtime events. Implementations must be safe for

@@ -39,6 +39,7 @@ const (
 	cInjectedFaults
 	cWALRecords
 	cWALFlushes
+	cWALFsyncs
 	cWALCheckpoints
 	nStatCounters
 )
@@ -128,6 +129,7 @@ type Stats struct {
 	// group-commit batch-size arithmetic in cmd/kvbench is unchanged.
 	WALRecords     Counter // records appended to log segments
 	WALFlushes     Counter // batch flushes (one fsync each)
+	WALFsyncs      Counter // every fsync issued (flushes + rotations + checkpoints)
 	WALCheckpoints Counter // checkpoints written
 }
 
@@ -177,6 +179,7 @@ func (s *Stats) init() {
 		cInjectedFaults: &s.InjectedFaults,
 		cWALRecords:     &s.WALRecords,
 		cWALFlushes:     &s.WALFlushes,
+		cWALFsyncs:      &s.WALFsyncs,
 		cWALCheckpoints: &s.WALCheckpoints,
 	}
 	for i, c := range counterSlots {
@@ -205,6 +208,7 @@ type StatsSnapshot struct {
 	InjectedFaults uint64
 	WALRecords     uint64
 	WALFlushes     uint64
+	WALFsyncs      uint64
 	WALCheckpoints uint64
 }
 
@@ -243,6 +247,7 @@ func (rt *Runtime) Snapshot() StatsSnapshot {
 		InjectedFaults: t[cInjectedFaults],
 		WALRecords:     t[cWALRecords],
 		WALFlushes:     t[cWALFlushes],
+		WALFsyncs:      t[cWALFsyncs],
 		WALCheckpoints: t[cWALCheckpoints],
 	}
 }
@@ -271,6 +276,7 @@ func (s StatsSnapshot) Delta(prev StatsSnapshot) StatsSnapshot {
 		InjectedFaults: s.InjectedFaults - prev.InjectedFaults,
 		WALRecords:     s.WALRecords - prev.WALRecords,
 		WALFlushes:     s.WALFlushes - prev.WALFlushes,
+		WALFsyncs:      s.WALFsyncs - prev.WALFsyncs,
 		WALCheckpoints: s.WALCheckpoints - prev.WALCheckpoints,
 	}
 }
@@ -296,8 +302,8 @@ func (s StatsSnapshot) String() string {
 			s.RetryParks, s.RetryWakes)
 	}
 	if s.WALRecords != 0 || s.WALFlushes != 0 || s.WALCheckpoints != 0 {
-		base += fmt.Sprintf(" wal(records=%d flushes=%d ckpts=%d)",
-			s.WALRecords, s.WALFlushes, s.WALCheckpoints)
+		base += fmt.Sprintf(" wal(records=%d flushes=%d fsyncs=%d ckpts=%d)",
+			s.WALRecords, s.WALFlushes, s.WALFsyncs, s.WALCheckpoints)
 	}
 	return base
 }

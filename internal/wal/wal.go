@@ -66,10 +66,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Record is one replayed log record.
+// Record is one replayed log record. Seg and Off locate the record on
+// storage (the segment file and the byte offset of the record's first
+// byte within it) so recovery layers that must surgically drop a suffix
+// — e.g. the KV store's cross-shard atomicity pass — can call
+// TruncateTail without re-scanning.
 type Record struct {
 	LSN     uint64
 	Payload []byte
+	Seg     string
+	Off     int64
 }
 
 // Recovery describes what Open found on storage.
@@ -106,6 +112,7 @@ type segMeta struct {
 type BatchStats struct {
 	Flushes  uint64     // drain+fsync cycles
 	Records  uint64     // records written through those flushes
+	Fsyncs   uint64     // every fsync the log issued (flush + rotate + checkpoint)
 	MaxBatch uint64     // largest single batch
 	Hist     [17]uint64 // Hist[i] counts batches with bits.Len64(size) == i
 }
@@ -143,6 +150,7 @@ type Log struct {
 
 	flushes  atomic.Uint64
 	records  atomic.Uint64
+	fsyncs   atomic.Uint64
 	maxBatch atomic.Uint64
 	hist     [17]atomic.Uint64
 }
@@ -234,7 +242,10 @@ func Open(rt *stm.Runtime, b Backend, opts Options) (*Log, *Recovery, error) {
 				return nil, nil, fmt.Errorf("%w: LSN %d not increasing after %d", ErrCorrupt, lsn, prev)
 			}
 			if lsn > rec.CheckpointLSN {
-				rec.Records = append(rec.Records, Record{LSN: lsn, Payload: append([]byte(nil), payload...)})
+				rec.Records = append(rec.Records, Record{
+					LSN: lsn, Payload: append([]byte(nil), payload...),
+					Seg: s.name, Off: int64(off),
+				})
 			}
 			prev = lsn
 			off += recordSize(len(payload))
@@ -281,8 +292,35 @@ func (l *Log) Runtime() *stm.Runtime { return l.rt }
 // flush in flight commit without blocking and their deferred operation
 // joins (or performs) the next batch.
 func (l *Log) Append(tx *stm.Tx, payload []byte) uint64 {
+	lsn := l.Reserve(tx)
+	l.EnqueueReserved(tx, lsn, 0, payload)
+	l.DeferFlush(tx, lsn)
+	return lsn
+}
+
+// Reserve reserves the next LSN within tx without enqueueing a record.
+// Multi-lane commits use it to learn every touched lane's LSN before
+// building the payloads (whose headers carry the full lane/LSN vector);
+// single-lane callers want Append. A Reserve must be followed by
+// EnqueueReserved in the same tx — a reserved-but-unenqueued LSN would
+// leave a permanent hole in the log.
+//
+// Reserving reads and writes the lane's nextLSN Var, so two commits
+// appending to the same lane conflict and serialize: per lane, LSN
+// order IS serialization order, which is what lets a GSN drawn after
+// all of a commit's reservations stay monotone within every lane.
+func (l *Log) Reserve(tx *stm.Tx) uint64 {
 	lsn := l.nextLSN.Get(tx)
 	l.nextLSN.Set(tx, lsn+1)
+	return lsn
+}
+
+// EnqueueReserved enqueues payload under a previously Reserved lsn and
+// records the append event (gsn, the global commit sequence number of a
+// multi-lane store, rides Event.Aux2; pass 0 on a single-lane log). It
+// does not schedule a flush — follow with DeferFlush or DeferFlushGroup
+// in the same tx.
+func (l *Log) EnqueueReserved(tx *stm.Tx, lsn, gsn uint64, payload []byte) {
 	cp := append([]byte(nil), payload...)
 	node := &pnode{lsn: lsn, payload: cp, next: l.pending.Get(tx)}
 	if l.rt.Metrics() != nil {
@@ -292,8 +330,14 @@ func (l *Log) Append(tx *stm.Tx, payload []byte) uint64 {
 	}
 	l.pending.Set(tx, node)
 	if l.rt.Recording() {
-		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALAppend, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn})
+		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALAppend, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn, Aux2: gsn})
 	}
+}
+
+// DeferFlush schedules the group-commit deferral for a record this tx
+// enqueued at lsn: lead the next batch if the log lock is free in tx's
+// snapshot, ride an enclosing holder's flush, or join as a follower.
+func (l *Log) DeferFlush(tx *stm.Tx, lsn uint64) {
 	switch l.Lock().HeldBy(tx) {
 	case 0:
 		// Leader: the flush runs between our commit and any observation
@@ -310,7 +354,30 @@ func (l *Log) Append(tx *stm.Tx, payload []byte) uint64 {
 			l.ensureDurable(ctx, lsn)
 		})
 	}
-	return lsn
+}
+
+// DeferFlushGroup schedules ONE atomic deferral that acquires every
+// log's TxLock at tx's commit — logs must be in canonical (ascending
+// lane) order, so concurrent cross-shard commits cannot deadlock even
+// in the waiting-outside-transactions sense — and flushes them together
+// via FlushGroup. This is the cross-shard commit of a sharded store:
+// the paper's 2PL argument is indifferent to how many locks the
+// deferral protects, because all acquisitions happen atomically at one
+// commit and the deferred operation releases them only when it ends.
+//
+// Unlike DeferFlush there is no follower fast path: a lane whose lock
+// is held by an in-flight flush makes the committing transaction wait
+// (via retry) until that flush releases it. Holding ALL touched locks
+// from commit to the last fsync is what makes the cross-shard batch
+// atomic with respect to both observers and checkpoints.
+func DeferFlushGroup(tx *stm.Tx, logs []*Log) {
+	objs := make([]core.Object, len(logs))
+	for i, l := range logs {
+		objs[i] = l
+	}
+	core.AtomicDefer(tx, func(ctx *core.OpCtx) {
+		FlushGroup(ctx, logs)
+	}, objs...)
 }
 
 // AppendSync appends and fsyncs payload immediately, inside a serial
@@ -320,13 +387,20 @@ func (l *Log) Append(tx *stm.Tx, payload []byte) uint64 {
 // transaction can no longer abort. A log driven through AppendSync must
 // not also be driven through Append.
 func (l *Log) AppendSync(tx *stm.Tx, payload []byte) (uint64, error) {
+	return l.AppendSyncWith(tx, 0, payload)
+}
+
+// AppendSyncWith is AppendSync carrying a global commit sequence number
+// for the append event (multi-lane stores in sync mode; pass 0 on a
+// single-lane log).
+func (l *Log) AppendSyncWith(tx *stm.Tx, gsn uint64, payload []byte) (uint64, error) {
 	if !tx.Serial() {
 		panic("wal: AppendSync outside a serial transaction")
 	}
 	lsn := l.nextLSN.Get(tx)
 	l.nextLSN.Set(tx, lsn+1)
 	if l.rt.Recording() {
-		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALAppend, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn})
+		tx.RecordOnCommit(stm.Event{Kind: stm.EvWALAppend, Owner: tx.Owner(), Var: l.Lock().VarID(), Aux: lsn, Aux2: gsn})
 	}
 	l.fmu.Lock()
 	err := l.writeLocked([]Record{{LSN: lsn, Payload: payload}})
@@ -461,6 +535,86 @@ func (l *Log) ensureDurable(ctx *core.OpCtx, lsn uint64) {
 // An unwritable backend is fatal: the log cannot lose a record it
 // promised to flush, so a persistent write error panics.
 func (l *Log) drainAndFlush(ctx *core.OpCtx) {
+	head, batch := l.drain(ctx)
+	if head == nil {
+		return
+	}
+	var flushStart time.Time
+	if l.rt.Metrics() != nil {
+		flushStart = time.Now()
+	}
+	if err := l.flushBatch(batch); err != nil {
+		panic(fmt.Sprintf("wal: flush failed, log would lose committed records: %v", err))
+	}
+	l.publish(ctx, head, batch, flushStart)
+}
+
+// FlushGroup flushes several logs whose TxLocks the caller's deferral
+// already holds (see DeferFlushGroup): it drains every queue, runs the
+// write+fsync of each lane CONCURRENTLY — parallel lane fsyncs are the
+// point of sharding the log — and publishes the watermarks only after
+// every lane's fsync returned. The publish barrier is what recovery's
+// atomicity argument leans on: no observer can be acked (acks wait on a
+// watermark) for any record of this round until the whole cross-lane
+// round is on stable storage, so a crash between lane fsyncs can only
+// lose records that were never promised.
+func FlushGroup(ctx *core.OpCtx, logs []*Log) {
+	heads := make([]*pnode, len(logs))
+	batches := make([][]Record, len(logs))
+	work := 0
+	for i, l := range logs {
+		heads[i], batches[i] = l.drain(ctx)
+		if heads[i] != nil {
+			work++
+		}
+	}
+	if work == 0 {
+		return
+	}
+	var flushStart time.Time
+	for _, l := range logs {
+		if l.rt.Metrics() != nil {
+			flushStart = time.Now()
+			break
+		}
+	}
+	errs := make([]error, len(logs))
+	if work == 1 {
+		for i, l := range logs {
+			if heads[i] != nil {
+				errs[i] = l.flushBatch(batches[i])
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, l := range logs {
+			if heads[i] == nil {
+				continue
+			}
+			wg.Add(1)
+			go func(i int, l *Log) {
+				defer wg.Done()
+				errs[i] = l.flushBatch(batches[i])
+			}(i, l)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			panic(fmt.Sprintf("wal: cross-lane flush failed, log would lose committed records: %v", err))
+		}
+	}
+	for i, l := range logs {
+		if heads[i] != nil {
+			l.publish(ctx, heads[i], batches[i], flushStart)
+		}
+	}
+}
+
+// drain empties the batch queue within a small transaction and returns
+// the cons-list head plus the records in ascending LSN order (nil, nil
+// when the queue was empty). Caller holds the log's TxLock.
+func (l *Log) drain(ctx *core.OpCtx) (*pnode, []Record) {
 	var head *pnode
 	_ = ctx.Atomic(func(tx *stm.Tx) error {
 		head = l.pending.Get(tx)
@@ -470,7 +624,7 @@ func (l *Log) drainAndFlush(ctx *core.OpCtx) {
 		return nil
 	})
 	if head == nil {
-		return
+		return nil, nil
 	}
 	n := 0
 	for p := head; p != nil; p = p.next {
@@ -481,12 +635,12 @@ func (l *Log) drainAndFlush(ctx *core.OpCtx) {
 		n--
 		batch[n] = Record{LSN: p.lsn, Payload: p.payload}
 	}
+	return head, batch
+}
 
+// flushBatch writes batch to the segment files and fsyncs, under fmu.
+func (l *Log) flushBatch(batch []Record) error {
 	met := l.rt.Metrics()
-	var flushStart time.Time
-	if met != nil {
-		flushStart = time.Now()
-	}
 	l.fmu.Lock()
 	var err error
 	if met != nil {
@@ -498,10 +652,14 @@ func (l *Log) drainAndFlush(ctx *core.OpCtx) {
 		err = l.writeLocked(batch)
 	}
 	l.fmu.Unlock()
-	if err != nil {
-		panic(fmt.Sprintf("wal: flush failed, log would lose committed records: %v", err))
-	}
-	if met != nil {
+	return err
+}
+
+// publish makes a flushed batch visible: watermark, batch statistics,
+// latency metrics, and the EvWALDurable history event. Caller holds the
+// log's TxLock under ctx.Owner() and must have fsynced batch already.
+func (l *Log) publish(ctx *core.OpCtx, head *pnode, batch []Record, flushStart time.Time) {
+	if met := l.rt.Metrics(); met != nil {
 		// Per-record append→durable lag, and how long the oldest record
 		// of this batch waited for the flush to even start (the pure
 		// group-commit batching delay, fsync excluded).
@@ -545,6 +703,7 @@ func (l *Log) writeLocked(batch []Record) error {
 		}
 		l.curBytes += sz
 	}
+	l.noteFsync()
 	return l.cur.Fsync()
 }
 
@@ -553,6 +712,7 @@ func (l *Log) writeLocked(batch []Record) error {
 // create ordering is what recovery relies on: a later segment exists only
 // if every earlier segment is fully durable.
 func (l *Log) rotateLocked(nextLSN uint64) error {
+	l.noteFsync()
 	if err := l.cur.Fsync(); err != nil {
 		return err
 	}
@@ -584,6 +744,18 @@ func writeFull(f File, buf []byte) error {
 	return nil
 }
 
+// noteFsync counts one fsync issued by this log, on whichever path —
+// batch flush, segment rotation, or checkpoint. Group-commit flush
+// metrics used to count only drain cycles (WALFlushes), so a rotation-
+// or checkpoint-heavy run issued more fsyncs than the counters admitted
+// and kvbench's fsyncs/commit arithmetic could not be reconciled
+// against the filesystem's ground truth; Fsyncs closes that gap
+// per lane (BatchStats.Fsyncs) and runtime-wide (Stats.WALFsyncs).
+func (l *Log) noteFsync() {
+	l.fsyncs.Add(1)
+	l.rt.Stats().WALFsyncs.Add(1)
+}
+
 func (l *Log) noteBatch(n uint64) {
 	l.flushes.Add(1)
 	l.records.Add(n)
@@ -607,6 +779,7 @@ func (l *Log) BatchStats() BatchStats {
 	s := BatchStats{
 		Flushes:  l.flushes.Load(),
 		Records:  l.records.Load(),
+		Fsyncs:   l.fsyncs.Load(),
 		MaxBatch: l.maxBatch.Load(),
 	}
 	for i := range l.hist {
@@ -653,6 +826,7 @@ func (l *Log) Checkpoint(snap func(tx *stm.Tx) (blob []byte, upTo uint64, err er
 		f.Close()
 		return 0, fmt.Errorf("wal: write checkpoint: %w", err)
 	}
+	l.noteFsync()
 	if err := f.Fsync(); err != nil {
 		f.Close()
 		return 0, fmt.Errorf("wal: fsync checkpoint: %w", err)

@@ -40,6 +40,13 @@ go test -race -count=1 ./internal/reactive ./internal/ds
 echo "==> kv crash-recovery smoke (race detector, fixed seeds)"
 go test -race -count=1 -run 'TestCrashRecovery' ./internal/kv
 
+# The sharded store's lane routing, cross-shard commit, manifest pinning
+# and crash atomicity are all lock-order-sensitive concurrency: gate them
+# under the race detector explicitly, uncached.
+echo "==> sharded-lane routing + cross-shard atomicity (race detector, uncached)"
+go test -race -count=1 -run 'Sharded|CrossShard|CrossLane|Manifest|LaneRecord|Token|Legacy' ./internal/kv
+go test -race -count=1 -run 'TestShardedKVHistoryDurability' ./internal/check
+
 # The trace exporter and offline checkers both depend on the recorder's
 # ordering contract (per-tx monotone spans, enqueue→start→end for every
 # deferred op); assert it explicitly under the race detector.
@@ -97,6 +104,8 @@ for series in \
     deferstm_tx_latency_seconds_bucket \
     'deferstm_aborts_total{reason="conflict"}' \
     deferstm_defer_queue_depth \
+    deferstm_wal_fsyncs_total \
+    'deferstm_wal_lane_records_total{lane="0"}' \
     deferstm_wal_append_durable_seconds; do
     grep -q "$series" "$tmpmetrics" || { echo "missing series: $series"; exit 1; }
 done
@@ -171,5 +180,31 @@ go run ./cmd/stmbench -validate "$kvdir/load.json"
 kill -9 "$kvsrvpid" 2>/dev/null || true
 wait "$kvsrvpid" 2>/dev/null || true
 "$kvdir/kvserver" -dir "$kvdir/wal" -verify -ackfile "$kvdir/ack.txt"
+
+# Same smoke, sharded: four parallel WAL lanes, lane-tagged ack tokens,
+# kill -9, then a per-lane recovery verify. kvloadgen writes "lane lsn"
+# lines; -verify (lane count adopted from the manifest) must prove every
+# lane's acked watermark survived and no lane invented records.
+echo "==> sharded kvserver crash smoke (-shards 4 + kill -9 + per-lane verify)"
+"$kvdir/kvserver" -addr 127.0.0.1:0 -addrfile "$kvdir/addr4.txt" \
+    -dir "$kvdir/wal4" -mode group -shards 4 2>"$kvdir/server4.log" &
+kvsrvpid=$!
+bound=""
+for _ in $(seq 1 50); do
+    if [ -s "$kvdir/addr4.txt" ]; then
+        bound="$(head -n1 "$kvdir/addr4.txt")"
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$bound" ] || { echo "sharded kvserver never published its address"; cat "$kvdir/server4.log"; exit 1; }
+"$kvdir/kvloadgen" -addr "$bound" -conns 1,4,8 -ops 400 -reads 20 \
+    -ackfile "$kvdir/ack4.txt" -check >/dev/null
+kill -9 "$kvsrvpid" 2>/dev/null || true
+wait "$kvsrvpid" 2>/dev/null || true
+awk 'NF == 2' "$kvdir/ack4.txt" | grep -q . \
+    || { echo "sharded ackfile has no per-lane lines"; cat "$kvdir/ack4.txt"; exit 1; }
+"$kvdir/kvserver" -dir "$kvdir/wal4" -verify -ackfile "$kvdir/ack4.txt" \
+    | grep -q 'verify ok: 4 lanes' || { echo "per-lane verify failed"; exit 1; }
 
 echo "CI green"
