@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-kv race-server vet torture kvsmoke servesmoke ci bench bench-scaling bench-reactive bench-figs benchdiff trace
+.PHONY: all build test race race-kv race-server vet torture kvsmoke servesmoke ci bench bench-scaling bench-reactive bench-mixed bench-figs benchdiff trace
 
 all: build test
 
@@ -69,6 +69,15 @@ bench-reactive:
 # 1..NumCPU ladder), written to stm-bench-scaling.json.
 bench-scaling:
 	$(GO) run ./cmd/stmbench -suite scaling -json stm-bench-scaling.json
+
+# Mixed suite: the TPC-B-style writer ladder against one long scanner,
+# both scan variants (validating vs snapshot), written to
+# stm-bench-mixed.json. SCANNER=validate|snapshot emits a single-variant
+# document whose rows are named mixed-scan/N, so a validate run and a
+# snapshot run diff row-for-row (the BENCH_PR9.json recipe).
+SCANNER ?= both
+bench-mixed:
+	$(GO) run ./cmd/stmbench -suite mixed -scanner $(SCANNER) -json stm-bench-mixed.json
 
 # Go testing-framework microbenchmarks (figure pipelines etc.).
 bench-figs:

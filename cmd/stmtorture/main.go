@@ -18,6 +18,12 @@
 //     watcher-based Retry (park on full/empty, wake on commit); every
 //     produced value must be consumed exactly once and in per-producer
 //     order, and no consumer may sleep through a wakeup;
+//   - scanner: transfer writers hammer a conserved keyspace while
+//     snapshot transactions (stm.AtomicSnapshot) sum it end to end;
+//     every scan must observe one consistent cut (the conserved total),
+//     whether it was served from version chains or fell back to the
+//     validating path, and the snapshot machinery must actually have
+//     run (snapshot commits + fallbacks == scans);
 //   - selfcheck: deliberately reports one failure, so the harness's
 //     nonzero-exit path can itself be tested (not part of "all").
 //
@@ -98,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		duration  = fs.Duration("duration", 5*time.Second, "run time per workload")
 		threads   = fs.Int("threads", 8, "concurrent worker goroutines")
-		workload  = fs.String("workload", "all", "bank|tree|defer|locks|kvstore|watcher|selfcheck|all")
+		workload  = fs.String("workload", "all", "bank|tree|defer|locks|kvstore|watcher|scanner|selfcheck|all")
 		mode      = fs.String("mode", "stm", "stm|htm")
 		seed      = fs.Uint64("seed", 1, "base seed for worker RNGs and fault injection")
 		checkHist = fs.Bool("check", false, "record the full event history and verify serializability, opacity, deferral atomicity and 2PL")
@@ -173,9 +179,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"locks":     tortureLocks,
 		"kvstore":   tortureKVStore,
 		"watcher":   tortureWatcher,
+		"scanner":   tortureScanner,
 		"selfcheck": tortureSelfcheck,
 	}
-	order := []string{"bank", "tree", "defer", "locks", "kvstore", "watcher"} // selfcheck is opt-in
+	order := []string{"bank", "tree", "defer", "locks", "kvstore", "watcher", "scanner"} // selfcheck is opt-in
 
 	var total int64
 	ran := 0
@@ -667,6 +674,87 @@ func tortureWatcher(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
 	if gotCount != wantCount || gotSum != wantSum {
 		h.failf("watcher: consumed %d values (sum %d), want %d (sum %d) — lost or duplicated handoff",
 			gotCount, gotSum, wantCount, wantSum)
+	}
+}
+
+// tortureScanner hammers snapshot reads: most threads run transfer
+// writers over a conserved keyspace (plus occasional StoreDirect
+// publishes to a side var, which chain versions outside any
+// transaction), while the rest repeatedly sum the whole keyspace in
+// snapshot mode. Every scan must see one consistent cut — the conserved
+// total — no matter how many writers commit mid-scan; a torn scan
+// (partial transfer, or values from two different instants) shows up as
+// a wrong sum. Scans that outrun the default chain depth fall back to
+// the validating path, which must be just as consistent; the workload
+// asserts the snapshot machinery really ran by reconciling snapshot
+// commits + fallbacks against the scan count. Under -check the recorded
+// history additionally passes the snapshot-consistency axioms (pinned
+// cut, truncation-never-ahead-of-a-reader).
+func tortureScanner(h *torture, rt *stm.Runtime, threads int, d time.Duration) {
+	const nKeys = 48
+	const initial = 1000
+	keys := make([]*stm.Var[int], nKeys)
+	for i := range keys {
+		keys[i] = stm.NewVar(initial)
+	}
+	side := stm.NewVar(0)
+	scanners := threads / 4
+	if scanners == 0 {
+		scanners = 1
+	}
+	before := rt.Snapshot()
+	var scans atomic.Int64
+	h.runFor(threads, d, func(tid int, rng func(int) int64) {
+		if tid < scanners {
+			sum := 0
+			if err := rt.AtomicSnapshot(func(tx *stm.Tx) error {
+				sum = 0
+				for _, k := range keys {
+					sum += k.Get(tx)
+				}
+				_ = side.Get(tx)
+				return nil
+			}); err != nil {
+				h.failf("scanner: snapshot scan: %v", err)
+				return
+			}
+			if sum != nKeys*initial {
+				h.failf("scanner: scan saw %d, want %d (torn cut)", sum, nKeys*initial)
+			}
+			scans.Add(1)
+			return
+		}
+		from, to := rng(nKeys), rng(nKeys)
+		if from == to {
+			return
+		}
+		amt := int(rng(50)) + 1
+		_ = rt.Atomic(func(tx *stm.Tx) error {
+			f := keys[from].Get(tx)
+			if f < amt {
+				return nil
+			}
+			keys[from].Set(tx, f-amt)
+			keys[to].Set(tx, keys[to].Get(tx)+amt)
+			return nil
+		})
+		if rng(32) == 0 {
+			side.StoreDirect(rt, int(rng(1<<20)))
+		}
+	})
+	total := 0
+	for _, k := range keys {
+		total += k.Load()
+	}
+	if total != nKeys*initial {
+		h.failf("scanner: final total %d, want %d", total, nKeys*initial)
+	}
+	delta := rt.Snapshot().Delta(before)
+	if got := int64(delta.Snapshots + delta.SnapshotFallbacks); got != scans.Load() {
+		h.failf("scanner: %d snapshot commits + fallbacks, want %d scans", got, scans.Load())
+	}
+	if rt.ActiveSnapshots() != 0 {
+		h.failf("scanner: %d snapshots still registered after the run", rt.ActiveSnapshots())
 	}
 }
 

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateDoc(rows map[string]float64) *StmDoc {
+	d := &StmDoc{Schema: StmSchema}
+	for name, allocs := range rows {
+		d.Results = append(d.Results, StmResult{Name: name, AllocsPerOp: allocs})
+	}
+	return d
+}
+
+func TestAllocGatePassesWithinSlack(t *testing.T) {
+	old := gateDoc(map[string]float64{"read-only": 0, "small-write": 2, "contended-counter": 5})
+	now := gateDoc(map[string]float64{"read-only": 0.1, "small-write": 2.3, "contended-counter": 50})
+	if err := AllocGate(old, now); err != nil {
+		t.Fatalf("gate failed within slack: %v", err)
+	}
+}
+
+func TestAllocGateFailsOnReadOnlyRegression(t *testing.T) {
+	old := gateDoc(map[string]float64{"read-only": 0})
+	now := gateDoc(map[string]float64{"read-only": 1})
+	err := AllocGate(old, now)
+	if err == nil {
+		t.Fatal("gate passed a read-only allocation regression")
+	}
+	if !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("error does not name the row: %v", err)
+	}
+}
+
+func TestAllocGateFailsOnSmallWriteRegression(t *testing.T) {
+	old := gateDoc(map[string]float64{"small-write": 2})
+	now := gateDoc(map[string]float64{"small-write": 3})
+	if err := AllocGate(old, now); err == nil {
+		t.Fatal("gate passed a small-write allocation regression")
+	}
+}
+
+func TestAllocGateSkipsMissingRows(t *testing.T) {
+	// A scaling-only baseline has no gated rows; the gate must compose.
+	old := gateDoc(map[string]float64{"map-read/1": 3})
+	now := gateDoc(map[string]float64{"read-only": 5, "map-read/1": 3})
+	if err := AllocGate(old, now); err != nil {
+		t.Fatalf("gate judged a row absent from the baseline: %v", err)
+	}
+}

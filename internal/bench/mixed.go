@@ -1,0 +1,238 @@
+// The mixed suite behind `stmbench -suite mixed`: N TPC-B-style writers
+// against one long scanner, the workload MVCC snapshot reads exist for.
+//
+// State is a scaled-down TPC-B: a few branch totals, a teller tier, and
+// a large account array. Every writer transaction applies one signed
+// delta to a random (branch, teller, account) triple, so the three
+// tiers always carry the same grand total — which makes every full scan
+// self-checking: a scanner that sums the branch tier and the account
+// tier must see them equal, or its cut was torn.
+//
+// Three row families per writer-ladder point N:
+//
+//   - mixed-base/N: writers alone — the scan-free throughput the
+//     acceptance compares against.
+//   - a scan variant: writers plus one scanner goroutine summing the
+//     whole keyspace, paced at a bounded duty cycle (it sleeps ~4x each
+//     scan's duration between scans) so the writer-throughput
+//     comparison isolates STM interference — aborts, lock stalls,
+//     validation — from raw CPU time-slicing, which on a small machine
+//     would otherwise dominate. The scanner either runs as an ordinary
+//     validating read-only transaction (Scanner "validate": every
+//     writer commit into its read set is a potential abort) or in
+//     snapshot mode (Scanner "snapshot": chain-resolved reads at a
+//     pinned version, abort-free by construction).
+//
+// With Scanner "both", the variants are emitted side by side as
+// mixed-validate/N and mixed-snapshot/N. With a single variant the rows
+// are named mixed-scan/N, so a validate-variant document and a
+// snapshot-variant document diff row-for-row — that is the committed
+// BENCH_PR9.json shape (baseline = what a scanner cost before snapshot
+// mode existed, after = the same scan in snapshot mode).
+//
+// Writer tail latency (tx_p99_ns) comes from the runtime's shared
+// commit-latency histogram; scan commits land in it too, but at the
+// paced duty cycle they are a negligible fraction of samples.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"deferstm/internal/stm"
+)
+
+// MixedOptions configures a mixed-suite run.
+type MixedOptions struct {
+	StmOptions
+	// MaxWriters caps the writer ladder (CI smoke runs use 2). 0 means
+	// the full ladder.
+	MaxWriters int
+	// Scanner selects the scan variant(s): "validate", "snapshot", or
+	// "both" (the default).
+	Scanner string
+}
+
+// MixedWriterLadder returns the writer counts the suite measures,
+// capped at max when max > 0. The acceptance point is 4 writers.
+func MixedWriterLadder(max int) []int {
+	out := []int{}
+	for _, w := range []int{1, 2, 4, 8} {
+		if max > 0 && w > max {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Scaled-down TPC-B shape. The account tier dominates scan length; the
+// branch tier is deliberately hot (every writer commit moves one of 4
+// vars), which is what forces deep chains on hot vars during a scan.
+const (
+	mixedBranches = 4
+	mixedTellers  = 40
+	mixedAccounts = 1 << 13
+)
+
+// mixedScanStats carries the scanner-side counters of the last
+// measured run out of the workload closure. run() resets it at entry
+// and the scanner goroutine is joined before run() returns, so the
+// fields need no atomics.
+type mixedScanStats struct {
+	ops       uint64 // completed scans
+	attempts  uint64 // fn executions (commits + aborts + fallbacks)
+	fallbacks uint64 // snapshot-overflow fallbacks (stats delta)
+}
+
+// RunMixedSuite executes the writer ladder for each requested variant
+// and returns one result per (variant, writers) pair.
+func RunMixedSuite(opts MixedOptions) []StmResult {
+	scanner := opts.Scanner
+	if scanner == "" {
+		scanner = "both"
+	}
+	type variant struct{ family, mode string }
+	variants := []variant{{family: "mixed-base", mode: ""}}
+	switch scanner {
+	case "validate":
+		variants = append(variants, variant{family: "mixed-scan", mode: "validate"})
+	case "snapshot":
+		variants = append(variants, variant{family: "mixed-scan", mode: "snapshot"})
+	default:
+		variants = append(variants,
+			variant{family: "mixed-validate", mode: "validate"},
+			variant{family: "mixed-snapshot", mode: "snapshot"})
+	}
+	ladder := MixedWriterLadder(opts.MaxWriters)
+	out := make([]StmResult, 0, len(variants)*len(ladder))
+	for _, v := range variants {
+		for _, writers := range ladder {
+			scan := &mixedScanStats{}
+			w := stmWorkload{
+				name:    v.family + "/" + itoa(writers),
+				threads: writers,
+				setup:   setupMixed(v.mode, scan),
+			}
+			var r StmResult
+			withProcs(writers+1, func() { r = measureStm(w, opts.StmOptions) })
+			r.ScanOps = scan.ops
+			r.ScanFallbacks = scan.fallbacks
+			if scan.attempts > scan.ops+scan.fallbacks {
+				// Re-executions beyond the scans themselves and their
+				// snapshot fallbacks are contention aborts of the
+				// validating path.
+				r.ScanAborts = scan.attempts - scan.ops - scan.fallbacks
+			}
+			if opts.Logf != nil {
+				opts.Logf("%-18s writers=%-2d %10.1f ns/op %12.0f commits/s scans=%d scan-aborts=%d fallbacks=%d",
+					r.Name, writers, r.NsPerOp, r.CommitsPerSec, r.ScanOps, r.ScanAborts, r.ScanFallbacks)
+			}
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// setupMixed builds one ladder point: TPC-B state, writer loop, and —
+// when mode is non-empty — the paced scanner goroutine whose lifetime
+// brackets each measured run.
+func setupMixed(mode string, scan *mixedScanStats) func(threads int) (*stm.Runtime, func(uint64)) {
+	return func(threads int) (*stm.Runtime, func(uint64)) {
+		// Chains must outlive a full scan on the hottest var: every
+		// writer commit moves one of mixedBranches branch totals, so a
+		// scan spanning C commits needs ~C/mixedBranches retained
+		// versions there. Size generously; memory is bounded by actual
+		// overwrites while a snapshot is live and drops to one value per
+		// var the moment no scan is registered.
+		rt := stm.New(stm.Config{SnapshotChainDepth: 1 << 16})
+		branches := make([]*stm.Var[int], mixedBranches)
+		tellers := make([]*stm.Var[int], mixedTellers)
+		accounts := make([]*stm.Var[int], mixedAccounts)
+		for i := range branches {
+			branches[i] = stm.NewVar(0)
+		}
+		for i := range tellers {
+			tellers[i] = stm.NewVar(0)
+		}
+		for i := range accounts {
+			accounts[i] = stm.NewVar(0)
+		}
+		scanOnce := func(tx *stm.Tx) error {
+			scan.attempts++
+			bSum, aSum := 0, 0
+			for _, b := range branches {
+				bSum += b.Get(tx)
+			}
+			for _, t := range tellers {
+				_ = t.Get(tx)
+			}
+			for _, a := range accounts {
+				aSum += a.Get(tx)
+			}
+			if bSum != aSum {
+				panic(fmt.Sprintf("bench: mixed scan tore: branch sum %d != account sum %d", bSum, aSum))
+			}
+			return nil
+		}
+		return rt, func(n uint64) {
+			*scan = mixedScanStats{}
+			fallbackBase := rt.Stats().SnapshotFallbacks.Load()
+			stop := make(chan struct{})
+			scanDone := make(chan struct{})
+			if mode == "" {
+				close(scanDone)
+			} else {
+				go func() {
+					defer close(scanDone)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						start := time.Now()
+						var err error
+						if mode == "snapshot" {
+							err = rt.AtomicSnapshot(scanOnce)
+						} else {
+							err = rt.Atomic(scanOnce)
+						}
+						if err != nil {
+							panic("bench: mixed scan: " + err.Error())
+						}
+						scan.ops++
+						// Bounded duty cycle: sleep ~4x the scan we just
+						// ran, so the scanner occupies ~20% of one core
+						// regardless of machine speed.
+						select {
+						case <-stop:
+							return
+						case <-time.After(4 * time.Since(start)):
+						}
+					}
+				}()
+			}
+			runParallel(threads, n, func(g int, per uint64) {
+				rng := seedRng(g)
+				for i := uint64(0); i < per; i++ {
+					b := int(xorshift(&rng) % mixedBranches)
+					t := int(xorshift(&rng) % mixedTellers)
+					a := int(xorshift(&rng) % mixedAccounts)
+					delta := int(xorshift(&rng)%199) - 99
+					if err := rt.Atomic(func(tx *stm.Tx) error {
+						accounts[a].Set(tx, accounts[a].Get(tx)+delta)
+						tellers[t].Set(tx, tellers[t].Get(tx)+delta)
+						branches[b].Set(tx, branches[b].Get(tx)+delta)
+						return nil
+					}); err != nil {
+						panic("bench: mixed writer: " + err.Error())
+					}
+				}
+			})
+			close(stop)
+			<-scanDone
+			scan.fallbacks = rt.Stats().SnapshotFallbacks.Load() - fallbackBase
+		}
+	}
+}

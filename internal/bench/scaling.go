@@ -84,7 +84,8 @@ func RunScalingSuite(opts ScalingOptions) []StmResult {
 	for _, k := range kinds {
 		for _, t := range counts {
 			w := stmWorkload{name: k.name + "/" + itoa(t), threads: t, maxN: k.maxN, setup: k.setup}
-			r := measureStm(w, opts.StmOptions)
+			var r StmResult
+			withProcs(t, func() { r = measureStm(w, opts.StmOptions) })
 			if opts.Logf != nil {
 				opts.Logf("%-18s threads=%-2d %10.1f ns/op %7.2f allocs/op %12.0f commits/s aborts=%d",
 					r.Name, r.Threads, r.NsPerOp, r.AllocsPerOp, r.CommitsPerSec, r.Aborts)
@@ -99,7 +100,8 @@ func RunScalingSuite(opts ScalingOptions) []StmResult {
 				threads: t,
 				setup:   setupWALLanes(lanes),
 			}
-			r := measureStm(w, opts.StmOptions)
+			var r StmResult
+			withProcs(t, func() { r = measureStm(w, opts.StmOptions) })
 			if opts.Logf != nil {
 				fpc := 0.0
 				if r.WALRecords > 0 {
@@ -172,6 +174,27 @@ func setupWALLanes(lanes int) func(threads int) (*stm.Runtime, func(uint64)) {
 			})
 		}
 	}
+}
+
+// withProcs runs f with GOMAXPROCS raised to min(want, NumCPU),
+// restoring the previous value afterwards. Raise-only: a ladder point
+// measuring t goroutines needs up to t procs to scale, but lowering the
+// user's setting for small points would change scheduler semantics
+// mid-suite. Before this helper the whole scaling ladder ran — and its
+// trajectory JSON was recorded — at whatever GOMAXPROCS the process
+// happened to start with (famously 1), making the "scaling" curves
+// time-slicing artifacts; each row now also records the value actually
+// in effect (StmResult.GOMAXPROCS).
+func withProcs(want int, f func()) {
+	if ncpu := runtime.NumCPU(); want > ncpu {
+		want = ncpu
+	}
+	prev := runtime.GOMAXPROCS(0)
+	if want > prev {
+		runtime.GOMAXPROCS(want)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	f()
 }
 
 func itoa(n int) string {

@@ -68,6 +68,19 @@ type StmResult struct {
 	WakeP50Ns float64 `json:"wake_p50_ns,omitempty"`
 	WakeP99Ns float64 `json:"wake_p99_ns,omitempty"`
 	WakeMaxNs float64 `json:"wake_max_ns,omitempty"`
+
+	// GOMAXPROCS in effect while this row was measured. The scaling and
+	// mixed suites raise it per ladder point (see withProcs), so the
+	// document-level GOMAXPROCS no longer tells the whole story.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+
+	// Scanner-side counters (mixed suite): completed scans, scanner
+	// contention aborts (validating scanners under write traffic), and
+	// snapshot-overflow fallbacks. A scan row with ScanOps > 0 and no
+	// scan_aborts key had zero scanner aborts — the snapshot headline.
+	ScanOps       uint64 `json:"scan_ops,omitempty"`
+	ScanAborts    uint64 `json:"scan_aborts,omitempty"`
+	ScanFallbacks uint64 `json:"scan_fallbacks,omitempty"`
 }
 
 // StmDoc is the JSON document cmd/stmbench emits: one machine, one
@@ -232,6 +245,7 @@ func measureStm(w stmWorkload, opts StmOptions) StmResult {
 		Name:         w.name,
 		Threads:      w.threads,
 		N:            n,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		NsPerOp:      float64(elapsed.Nanoseconds()) / float64(n),
 		AllocsPerOp:  float64(mallocs) / float64(n),
 		BytesPerOp:   float64(bytes) / float64(n),
@@ -470,6 +484,42 @@ func ValidateStmDoc(d *StmDoc) error {
 		}
 		if r.Commits == 0 {
 			return fmt.Errorf("%s: no commits recorded", r.Name)
+		}
+	}
+	return nil
+}
+
+// allocGated names the rows AllocGate judges and the absolute slack
+// each is allowed. The hot-path allocation pins are structural promises
+// (read-only: zero allocations; small-write: one box per Set), so the
+// gate is absolute, not proportional — a half-alloc drift on a
+// zero-alloc row IS the regression, however small it looks in percent.
+var allocGated = map[string]float64{
+	"read-only":   0.25,
+	"small-write": 0.5,
+}
+
+// AllocGate fails if a gated microbench row's allocs/op regressed
+// beyond its slack relative to the baseline. Rows absent from either
+// document are skipped (the gate composes with partial suites); timing
+// is never judged here — that is DiffStmDocs's advisory table.
+func AllocGate(oldDoc, newDoc *StmDoc) error {
+	byName := make(map[string]StmResult, len(oldDoc.Results))
+	for _, r := range oldDoc.Results {
+		byName[r.Name] = r
+	}
+	for _, nr := range newDoc.Results {
+		slack, gated := allocGated[nr.Name]
+		if !gated {
+			continue
+		}
+		or, ok := byName[nr.Name]
+		if !ok {
+			continue
+		}
+		if nr.AllocsPerOp > or.AllocsPerOp+slack {
+			return fmt.Errorf("%s: allocs/op %.2f exceeds baseline %.2f (+%.2f slack) — hot-path allocation regression",
+				nr.Name, nr.AllocsPerOp, or.AllocsPerOp, slack)
 		}
 	}
 	return nil

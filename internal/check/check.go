@@ -136,6 +136,7 @@ func History(events []stm.Event) *Report {
 	r.Violations = append(r.Violations, checkTwoPhase(p)...)
 	r.Violations = append(r.Violations, checkDurability(p)...)
 	r.Violations = append(r.Violations, checkRetryWake(p)...)
+	r.Violations = append(r.Violations, checkSnapshot(p)...)
 	return r
 }
 
@@ -157,6 +158,9 @@ type txInfo struct {
 	aborted    bool
 	abortCause uint64
 	abortSeq   uint64
+	snapshot   bool   // snapshot-mode attempt (EvBegin/EvCommit Aux)
+	beginVer   uint64 // EvBegin.Ver: the pin for snapshot attempts
+	beginSeq   uint64
 }
 
 type deferUnit struct {
@@ -192,6 +196,8 @@ type parsed struct {
 
 	watchRegs map[uint64][]watchReg // retrying txID -> its registrations
 	wakes     map[uint64][]wakeRec  // retrying txID -> its wake events
+
+	truncs []truncRec // depth-bound version-chain truncations (snapshot.go)
 
 	commits, aborts, reads, writeCount int
 }
@@ -251,7 +257,12 @@ func parse(events []stm.Event) *parsed {
 		seq := uint64(i + 1)
 		switch ev.Kind {
 		case stm.EvBegin:
-			tx(ev.TxID, ev.Owner)
+			t := tx(ev.TxID, ev.Owner)
+			t.beginVer = ev.Ver
+			t.beginSeq = seq
+			if ev.Aux == stm.AuxSnapshot {
+				t.snapshot = true
+			}
 		case stm.EvRead:
 			t := tx(ev.TxID, ev.Owner)
 			t.reads = append(t.reads, readRec{varID: ev.Var, ver: ev.Ver, seq: seq})
@@ -268,6 +279,9 @@ func parse(events []stm.Event) *parsed {
 			t.commitVer = ev.Ver
 			t.commitSeq = seq
 			t.serial = ev.Aux == stm.AuxSerial
+			if ev.Aux == stm.AuxSnapshot {
+				t.snapshot = true
+			}
 			p.commits++
 		case stm.EvAbort:
 			t := tx(ev.TxID, ev.Owner)
@@ -303,6 +317,9 @@ func parse(events []stm.Event) *parsed {
 		case stm.EvWake:
 			p.wakes[ev.TxID] = append(p.wakes[ev.TxID],
 				wakeRec{ver: ev.Ver, cause: ev.Aux, seq: seq})
+		case stm.EvSnapTruncate:
+			p.truncs = append(p.truncs,
+				truncRec{varID: ev.Var, horizon: ev.Ver, dropped: ev.Aux, seq: seq})
 		}
 	}
 	for _, vs := range p.writes {

@@ -1,0 +1,83 @@
+package check
+
+import "fmt"
+
+// RuleSnapshot names the snapshot-consistency axioms (snapshot-mode
+// transactions; see stm/snapshot.go).
+const RuleSnapshot = "snapshot-consistency"
+
+// truncRec is one EvSnapTruncate: a publisher's depth bound discarded
+// chain nodes some registered snapshot could still have needed.
+type truncRec struct {
+	varID   uint64
+	horizon uint64 // the truncation horizon the publisher used
+	dropped uint64
+	seq     uint64
+}
+
+// checkSnapshot verifies the two snapshot-mode axioms:
+//
+//  1. Pinned cut. A committed snapshot transaction resolves every read
+//     at its pin sv (its EvBegin.Ver): each read's version must be ≤ sv,
+//     and no write to that var may exist in (ver, sv] — otherwise the
+//     read missed a value that was committed at the pin. The interval is
+//     closed on the right even under GV4 timestamp sharing: a writer
+//     whose commit version is ≤ sv finished drawing its timestamp, while
+//     holding its commit locks, before the pin was read, and the
+//     snapshot read spins through lock bits — so the write was
+//     necessarily visible.
+//
+//  2. Truncation never ahead of a reader. An EvSnapTruncate with horizon
+//     h asserts that when it was emitted, no registered snapshot was
+//     pinned below h. A committed snapshot transaction whose recorded
+//     window [begin, commit] spans the truncation was registered
+//     throughout (registration precedes EvBegin, deregistration follows
+//     EvCommit), so its pin must satisfy pin ≥ h. Aborted snapshot
+//     attempts are exempt: deregistration precedes their EvAbort, so a
+//     truncation interleaving between the two is exactly the intended
+//     overflow-fallback path, not a violation.
+//
+// Both use recorder sequence order only within a single transaction's
+// emission (begin/commit brackets), never to order cross-transaction
+// facts — versions do that, per the package rules.
+func checkSnapshot(p *parsed) []Violation {
+	var out []Violation
+	for _, t := range p.order {
+		if !t.snapshot || !t.committed {
+			continue
+		}
+		sv := t.beginVer
+		for _, r := range t.reads {
+			if r.ver > sv {
+				out = append(out, Violation{
+					Rule: RuleSnapshot, TxID: t.id, Seq: r.seq,
+					Msg: fmt.Sprintf("snapshot pinned at version %d read var %d at version %d — newer than its pin",
+						sv, r.varID, r.ver),
+				})
+				continue
+			}
+			if w, ok := p.writeIn(r.varID, r.ver, sv, true); ok {
+				out = append(out, Violation{
+					Rule: RuleSnapshot, TxID: t.id, Seq: r.seq,
+					Msg: fmt.Sprintf("snapshot pinned at version %d read var %d at version %d, but var %d was overwritten at version %d ≤ pin — read is not the value committed at the pin",
+						sv, r.varID, r.ver, r.varID, w),
+				})
+			}
+		}
+	}
+	for _, tr := range p.truncs {
+		for _, t := range p.order {
+			if !t.snapshot || !t.committed {
+				continue
+			}
+			if t.beginSeq < tr.seq && tr.seq < t.commitSeq && t.beginVer < tr.horizon {
+				out = append(out, Violation{
+					Rule: RuleSnapshot, TxID: t.id, Seq: tr.seq,
+					Msg: fmt.Sprintf("chain truncation of var %d used horizon %d while snapshot tx %d (pinned at %d) was registered — truncation ran ahead of the oldest reader",
+						tr.varID, tr.horizon, t.id, t.beginVer),
+				})
+			}
+		}
+	}
+	return out
+}

@@ -234,6 +234,21 @@ func (m *HashMap[V]) Range(tx *stm.Tx, fn func(k int64, v V) bool) {
 	}
 }
 
+// SnapshotRange runs fn over every entry inside one snapshot-mode
+// transaction (stm.AtomicSnapshot): the iteration sees the map as of a
+// single version-clock instant, never aborts on conflicting writers and
+// never forces them to wait — a long scan over a hot map costs the
+// writers nothing. If the map's version chains cannot serve the
+// snapshot (depth overflow, or a migration chunk held the map's lock at
+// the pin), the runtime transparently re-runs fn on the validating
+// read-only path.
+func (m *HashMap[V]) SnapshotRange(rt *stm.Runtime, fn func(k int64, v V) bool) error {
+	return rt.AtomicSnapshot(func(tx *stm.Tx) error {
+		m.Range(tx, fn)
+		return nil
+	})
+}
+
 // Resizes reports how many resizes have completed (snapshot).
 func (m *HashMap[V]) Resizes() uint64 { return m.resizes.Load() }
 

@@ -616,6 +616,28 @@ func (s *Store) View(fn func(tx *stm.Tx) error) error {
 	return s.rt.Atomic(fn)
 }
 
+// SnapshotView runs fn as a snapshot-mode read-only transaction
+// (stm.AtomicSnapshot): every read resolves at one pinned version-clock
+// instant, so fn observes a consistent cut across all shards without
+// validation and without aborting — or stalling — concurrent writers,
+// no matter how long it runs. Writes inside fn panic. If the snapshot
+// cannot be served (version-chain depth overflow on a hot var), the
+// runtime re-runs fn on the ordinary validating path.
+func (s *Store) SnapshotView(fn func(tx *stm.Tx) error) error {
+	return s.rt.AtomicSnapshot(fn)
+}
+
+// Scan iterates every key/value pair as one consistent snapshot of the
+// whole store (all shards at a single pinned version) until fn returns
+// false. It is the abort-free way to run long full-store scans under
+// write traffic; see SnapshotView for the mechanism.
+func (s *Store) Scan(fn func(k, v string) bool) error {
+	return s.SnapshotView(func(tx *stm.Tx) error {
+		s.Range(tx, fn)
+		return nil
+	})
+}
+
 // Get reads key inside tx (for composing with other transactional state).
 func (s *Store) Get(tx *stm.Tx, key string) (string, bool) {
 	return s.shards[s.shardOf(key)].m.get(tx, key)

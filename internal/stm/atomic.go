@@ -21,12 +21,12 @@ import (
 // transaction and deadlock. Use (*Tx).Nested for flat nesting, exactly as
 // C++ TM flattens nested atomic blocks.
 func (rt *Runtime) Atomic(fn func(tx *Tx) error) error {
-	return rt.run(nil, rt.NewOwner(), fn, false)
+	return rt.run(nil, rt.NewOwner(), fn, false, false)
 }
 
 // AtomicAs is Atomic with an explicit lock-owner identity.
 func (rt *Runtime) AtomicAs(owner OwnerID, fn func(tx *Tx) error) error {
-	return rt.run(nil, owner, fn, false)
+	return rt.run(nil, owner, fn, false, false)
 }
 
 // AtomicSerial executes fn as a serial (irrevocable) transaction: it waits
@@ -38,12 +38,12 @@ func (rt *Runtime) AtomicAs(owner OwnerID, fn func(tx *Tx) error) error {
 // most once per call: a non-nil error aborts (buffered writes are
 // discarded) and is returned.
 func (rt *Runtime) AtomicSerial(fn func(tx *Tx) error) error {
-	return rt.run(nil, rt.NewOwner(), fn, true)
+	return rt.run(nil, rt.NewOwner(), fn, true, false)
 }
 
 // AtomicSerialAs is AtomicSerial with an explicit lock-owner identity.
 func (rt *Runtime) AtomicSerialAs(owner OwnerID, fn func(tx *Tx) error) error {
-	return rt.run(nil, owner, fn, true)
+	return rt.run(nil, owner, fn, true, false)
 }
 
 // run is the shared transaction loop. ctx may be nil (the non-Ctx entry
@@ -51,7 +51,7 @@ func (rt *Runtime) AtomicSerialAs(owner OwnerID, fn func(tx *Tx) error) error {
 // ctx is consulted only at attempt boundaries and while parked in Retry:
 // fn is never interrupted mid-execution, and a transaction that has
 // committed is reported committed even if ctx expired concurrently.
-func (rt *Runtime) run(ctx context.Context, owner OwnerID, fn func(tx *Tx) error, startSerial bool) error {
+func (rt *Runtime) run(ctx context.Context, owner OwnerID, fn func(tx *Tx) error, startSerial, startSnapshot bool) error {
 	met := rt.met.Load()
 	var t0 time.Time
 	if met != nil {
@@ -66,15 +66,24 @@ func (rt *Runtime) run(ctx context.Context, owner OwnerID, fn func(tx *Tx) error
 	tx.owner = owner
 	tx.attempts = 0
 	serialNext := startSerial
+	snapNext := startSnapshot
 
 	for {
 		tx.attempts++
 		rt.stats.Starts.Add(1)
 
+		// A snapshot call stays read-only even on the fallback paths,
+		// so Set fails identically whether or not the snapshot fell
+		// back (reset clears the flag between attempts).
+		tx.ro = startSnapshot
+
 		var outcome txOutcome
-		if serialNext {
+		switch {
+		case snapNext:
+			outcome = rt.runSnapshot(tx, fn)
+		case serialNext:
 			outcome = rt.runSerial(tx, fn)
-		} else {
+		default:
 			outcome = rt.runOptimistic(tx, fn)
 		}
 
@@ -143,6 +152,15 @@ func (rt *Runtime) run(ctx context.Context, owner OwnerID, fn func(tx *Tx) error
 		case abortEscalate:
 			serialNext = true
 			rt.stats.Serializations.Add(1)
+		case abortSnapshot:
+			// The snapshot read outran the bounded version chain (or fn
+			// called Retry at a pinned timestamp that will never
+			// change): fall back to the validating read-only path. Not
+			// a contention abort — no backoff, no serialization
+			// pressure.
+			snapNext = false
+			tx.attempts = 0
+			rt.stats.SnapshotFallbacks.Add(1)
 		default: // conflict, capacity, syscall
 			if tx.attempts >= rt.cfg.SerializeAfter {
 				serialNext = true
@@ -182,7 +200,7 @@ func (rt *Runtime) runOptimistic(tx *Tx, fn func(tx *Tx) error) (out txOutcome) 
 	tx.htm = rt.cfg.Mode == ModeHTM
 	tx.slow = tx.htm || rt.rec != nil
 	if rt.rec != nil {
-		tx.beginRecord(rv)
+		tx.beginRecord(rv, 0)
 	}
 
 	defer func() {
@@ -303,11 +321,26 @@ func (tx *Tx) commitWriteBack() (uint64, bool) {
 		tx.rt.stats.InjectedFaults.Add(1)
 	}
 
+	// The truncation horizon and chain depth are loaded once per commit:
+	// publish links each superseded value onto its var's version chain
+	// when some active snapshot may still need it (see snapshot.go).
+	horizon := tx.rt.snapHorizon.Load()
+	depth := tx.rt.cfg.SnapshotChainDepth
+	var truncated uint64
 	for i := range tx.writes {
 		e := &tx.writes[i]
-		e.v.publish(e.pending)
+		if dropped := e.v.publish(e.pending, wv, horizon, depth); dropped > 0 {
+			truncated += uint64(dropped)
+			if tx.slow && tx.rt.rec != nil {
+				tx.rt.rec.Record(Event{Kind: EvSnapTruncate, TxID: tx.id,
+					Owner: tx.owner, Var: e.m.id, Ver: horizon, Aux: uint64(dropped)})
+			}
+		}
 		e.m.owner.Store(nil)
 		e.m.lock.Store(packVersion(wv))
+	}
+	if truncated > 0 {
+		tx.rt.stats.SnapshotTruncations.Add(truncated)
 	}
 	tx.flushCommitEvents(wv, 0)
 	// Injected delay in the publish→wake window: parked readers' data is
@@ -365,7 +398,7 @@ func (rt *Runtime) runSerial(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
 	tx.slow = rt.rec != nil
 	tx.active = true
 	if rt.rec != nil {
-		tx.beginRecord(tx.rv)
+		tx.beginRecord(tx.rv, 0)
 	}
 
 	release := func() {
@@ -400,10 +433,29 @@ func (rt *Runtime) runSerial(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
 	var wv uint64
 	if len(tx.writes) > 0 {
 		wv = tx.rt.clock.Add(1)
+		horizon := rt.snapHorizon.Load()
+		depth := rt.cfg.SnapshotChainDepth
+		var truncated uint64
 		for i := range tx.writes {
 			e := &tx.writes[i]
-			e.v.publish(e.pending)
+			// Serial mode runs alone among transactions holding slots,
+			// but snapshot readers hold none and run concurrently: set
+			// the lock bit around each var's publish so their
+			// spin/double-check protocol sees the store as one atomic
+			// version transition, exactly like an optimistic commit.
+			w := e.m.lock.Load()
+			e.m.lock.Store(w | lockedBit)
+			if dropped := e.v.publish(e.pending, wv, horizon, depth); dropped > 0 {
+				truncated += uint64(dropped)
+				if tx.slow {
+					rt.rec.Record(Event{Kind: EvSnapTruncate, TxID: tx.id,
+						Owner: tx.owner, Var: e.m.id, Ver: horizon, Aux: uint64(dropped)})
+				}
+			}
 			e.m.lock.Store(packVersion(wv))
+		}
+		if truncated > 0 {
+			rt.stats.SnapshotTruncations.Add(truncated)
 		}
 	}
 	tx.flushCommitEvents(wv, AuxSerial)

@@ -23,12 +23,12 @@ import "context"
 // returns ctx.Err() if ctx is cancelled before the transaction commits.
 // A nil ctx behaves exactly like Atomic.
 func (rt *Runtime) AtomicCtx(ctx context.Context, fn func(tx *Tx) error) error {
-	return rt.run(ctx, rt.NewOwner(), fn, false)
+	return rt.run(ctx, rt.NewOwner(), fn, false, false)
 }
 
 // AtomicAsCtx is AtomicCtx with an explicit lock-owner identity.
 func (rt *Runtime) AtomicAsCtx(ctx context.Context, owner OwnerID, fn func(tx *Tx) error) error {
-	return rt.run(ctx, owner, fn, false)
+	return rt.run(ctx, owner, fn, false, false)
 }
 
 // AtomicSerialCtx is AtomicSerial with cancellation and deadline
@@ -36,11 +36,24 @@ func (rt *Runtime) AtomicAsCtx(ctx context.Context, owner OwnerID, fn func(tx *T
 // by in-flight transactions finishing), but a Retry raised in serial
 // mode re-runs optimistically and honors ctx while parked.
 func (rt *Runtime) AtomicSerialCtx(ctx context.Context, fn func(tx *Tx) error) error {
-	return rt.run(ctx, rt.NewOwner(), fn, true)
+	return rt.run(ctx, rt.NewOwner(), fn, true, false)
 }
 
 // AtomicSerialAsCtx is AtomicSerialCtx with an explicit lock-owner
 // identity.
 func (rt *Runtime) AtomicSerialAsCtx(ctx context.Context, owner OwnerID, fn func(tx *Tx) error) error {
-	return rt.run(ctx, owner, fn, true)
+	return rt.run(ctx, owner, fn, true, false)
+}
+
+// SnapshotCtx is AtomicSnapshot with cancellation and deadline support:
+// a pinned snapshot read of any length whose fallback path (chain
+// overflow or Retry) honors ctx between attempts and while parked. The
+// snapshot execution itself is never interrupted mid-read.
+func (rt *Runtime) SnapshotCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return rt.run(ctx, rt.NewOwner(), fn, false, true)
+}
+
+// SnapshotAsCtx is SnapshotCtx with an explicit lock-owner identity.
+func (rt *Runtime) SnapshotAsCtx(ctx context.Context, owner OwnerID, fn func(tx *Tx) error) error {
+	return rt.run(ctx, owner, fn, false, true)
 }

@@ -155,6 +155,10 @@ func RegisterStats(reg *obs.Registry, snap func() StatsSnapshot) {
 		{"deferstm_wal_flushes_total", func(s StatsSnapshot) uint64 { return s.WALFlushes }},
 		{"deferstm_wal_fsyncs_total", func(s StatsSnapshot) uint64 { return s.WALFsyncs }},
 		{"deferstm_wal_checkpoints_total", func(s StatsSnapshot) uint64 { return s.WALCheckpoints }},
+		{"deferstm_snapshot_txs_total", func(s StatsSnapshot) uint64 { return s.Snapshots }},
+		{"deferstm_snapshot_reads_total", func(s StatsSnapshot) uint64 { return s.SnapshotReads }},
+		{"deferstm_snapshot_fallbacks_total", func(s StatsSnapshot) uint64 { return s.SnapshotFallbacks }},
+		{"deferstm_snapshot_truncations_total", func(s StatsSnapshot) uint64 { return s.SnapshotTruncations }},
 	} {
 		get := sr.get
 		help := "Runtime counter (see stm.StatsSnapshot)."

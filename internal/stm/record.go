@@ -75,6 +75,16 @@ const (
 	// consumes both.
 	EvWatchRegister
 	EvWake
+
+	// EvSnapTruncate records a depth-bound version-chain truncation
+	// during a publish (see snapshot.go): Var is the truncated var, Ver
+	// the truncation horizon the publisher used, Aux the number of
+	// chain nodes dropped that some registered snapshot could still
+	// have needed (each such snapshot will miss and fall back). TxID is
+	// the publishing transaction's attempt (0 for StoreDirect). The
+	// snapshot-consistency checker verifies the horizon never ran ahead
+	// of a registered reader's pin.
+	EvSnapTruncate
 )
 
 func (k EventKind) String() string {
@@ -117,6 +127,8 @@ func (k EventKind) String() string {
 		return "watch-register"
 	case EvWake:
 		return "wake"
+	case EvSnapTruncate:
+		return "snap-truncate"
 	default:
 		return "event(?)"
 	}
@@ -129,11 +141,17 @@ const (
 	AbortCauseSyscall  = uint64(abortSyscall)
 	AbortCauseRetry    = uint64(abortExplicitRetry)
 	AbortCauseEscalate = uint64(abortEscalate)
+	AbortCauseSnapshot = uint64(abortSnapshot)
 	AbortCauseUser     = 64 // fn returned a non-nil error
 )
 
 // AuxSerial marks a serial-mode commit in EvCommit.Aux.
 const AuxSerial = 1
+
+// AuxSnapshot marks a snapshot-mode attempt: on its EvBegin (whose Ver
+// is the pinned read version every read must be consistent at) and on
+// its EvCommit. See snapshot.go and internal/check's snapshot rule.
+const AuxSnapshot = 2
 
 // Wake causes reported in EvWake.Aux.
 const (
@@ -212,11 +230,12 @@ func (tx *Tx) RecordOnCommit(ev Event) {
 	tx.pendEvs = append(tx.pendEvs, ev)
 }
 
-// beginRecord assigns a fresh transaction ID and emits EvBegin.
-// Called once per attempt, only while recording.
-func (tx *Tx) beginRecord(rv uint64) {
+// beginRecord assigns a fresh transaction ID and emits EvBegin; aux is
+// AuxSnapshot for snapshot attempts (whose Ver is the pin, not a TL2
+// read version). Called once per attempt, only while recording.
+func (tx *Tx) beginRecord(rv, aux uint64) {
 	tx.id = tx.rt.txIDCtr.Add(1)
-	tx.rt.rec.Record(Event{Kind: EvBegin, TxID: tx.id, Owner: tx.owner, Ver: rv})
+	tx.rt.rec.Record(Event{Kind: EvBegin, TxID: tx.id, Owner: tx.owner, Ver: rv, Aux: aux})
 }
 
 // flushCommitEvents emits the attempt's buffered writes, queued lock and

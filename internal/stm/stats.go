@@ -41,6 +41,10 @@ const (
 	cWALFlushes
 	cWALFsyncs
 	cWALCheckpoints
+	cSnapshots
+	cSnapshotReads
+	cSnapshotFallbacks
+	cSnapshotTruncations
 	nStatCounters
 )
 
@@ -131,6 +135,16 @@ type Stats struct {
 	WALFlushes     Counter // batch flushes (one fsync each)
 	WALFsyncs      Counter // every fsync issued (flushes + rotations + checkpoints)
 	WALCheckpoints Counter // checkpoints written
+
+	// Snapshot-mode counters (snapshot.go). SnapshotFallbacks counts
+	// snapshot attempts that re-ran on the validating path (chain
+	// overflow or Retry at a pinned timestamp); SnapshotTruncations
+	// counts version-chain nodes the depth bound dropped while some
+	// registered snapshot could still have needed them.
+	Snapshots           Counter // committed snapshot-mode transactions
+	SnapshotReads       Counter // reads resolved at a pinned version
+	SnapshotFallbacks   Counter // snapshot attempts that fell back
+	SnapshotTruncations Counter // still-needed chain nodes depth-dropped
 }
 
 // init sizes the stripe array and wires every Counter field to its
@@ -160,27 +174,31 @@ func (s *Stats) init() {
 	s.shards = make([]statShard, p)
 	s.mask = uint32(p - 1)
 	counterSlots := [nStatCounters]*Counter{
-		cStarts:         &s.Starts,
-		cCommits:        &s.Commits,
-		cUserAborts:     &s.UserAborts,
-		cAbortsConflict: &s.AbortsConflict,
-		cAbortsCapacity: &s.AbortsCapacity,
-		cAbortsSyscall:  &s.AbortsSyscall,
-		cRetries:        &s.Retries,
-		cRetryParks:     &s.RetryParks,
-		cRetryWakes:     &s.RetryWakes,
-		cExtensions:     &s.Extensions,
-		cSerializations: &s.Serializations,
-		cSerialRuns:     &s.SerialRuns,
-		cQuiesceWaits:   &s.QuiesceWaits,
-		cQuiesceNanos:   &s.QuiesceNanos,
-		cDeferredOps:    &s.DeferredOps,
-		cDeferredFrees:  &s.DeferredFrees,
-		cInjectedFaults: &s.InjectedFaults,
-		cWALRecords:     &s.WALRecords,
-		cWALFlushes:     &s.WALFlushes,
-		cWALFsyncs:      &s.WALFsyncs,
-		cWALCheckpoints: &s.WALCheckpoints,
+		cStarts:              &s.Starts,
+		cCommits:             &s.Commits,
+		cUserAborts:          &s.UserAborts,
+		cAbortsConflict:      &s.AbortsConflict,
+		cAbortsCapacity:      &s.AbortsCapacity,
+		cAbortsSyscall:       &s.AbortsSyscall,
+		cRetries:             &s.Retries,
+		cRetryParks:          &s.RetryParks,
+		cRetryWakes:          &s.RetryWakes,
+		cExtensions:          &s.Extensions,
+		cSerializations:      &s.Serializations,
+		cSerialRuns:          &s.SerialRuns,
+		cQuiesceWaits:        &s.QuiesceWaits,
+		cQuiesceNanos:        &s.QuiesceNanos,
+		cDeferredOps:         &s.DeferredOps,
+		cDeferredFrees:       &s.DeferredFrees,
+		cInjectedFaults:      &s.InjectedFaults,
+		cWALRecords:          &s.WALRecords,
+		cWALFlushes:          &s.WALFlushes,
+		cWALFsyncs:           &s.WALFsyncs,
+		cWALCheckpoints:      &s.WALCheckpoints,
+		cSnapshots:           &s.Snapshots,
+		cSnapshotReads:       &s.SnapshotReads,
+		cSnapshotFallbacks:   &s.SnapshotFallbacks,
+		cSnapshotTruncations: &s.SnapshotTruncations,
 	}
 	for i, c := range counterSlots {
 		*c = Counter{s: s, i: uint32(i)}
@@ -210,6 +228,11 @@ type StatsSnapshot struct {
 	WALFlushes     uint64
 	WALFsyncs      uint64
 	WALCheckpoints uint64
+
+	Snapshots           uint64
+	SnapshotReads       uint64
+	SnapshotFallbacks   uint64
+	SnapshotTruncations uint64
 }
 
 // Stats returns a pointer to the live counters (for incrementing by
@@ -249,6 +272,11 @@ func (rt *Runtime) Snapshot() StatsSnapshot {
 		WALFlushes:     t[cWALFlushes],
 		WALFsyncs:      t[cWALFsyncs],
 		WALCheckpoints: t[cWALCheckpoints],
+
+		Snapshots:           t[cSnapshots],
+		SnapshotReads:       t[cSnapshotReads],
+		SnapshotFallbacks:   t[cSnapshotFallbacks],
+		SnapshotTruncations: t[cSnapshotTruncations],
 	}
 }
 
@@ -278,6 +306,11 @@ func (s StatsSnapshot) Delta(prev StatsSnapshot) StatsSnapshot {
 		WALFlushes:     s.WALFlushes - prev.WALFlushes,
 		WALFsyncs:      s.WALFsyncs - prev.WALFsyncs,
 		WALCheckpoints: s.WALCheckpoints - prev.WALCheckpoints,
+
+		Snapshots:           s.Snapshots - prev.Snapshots,
+		SnapshotReads:       s.SnapshotReads - prev.SnapshotReads,
+		SnapshotFallbacks:   s.SnapshotFallbacks - prev.SnapshotFallbacks,
+		SnapshotTruncations: s.SnapshotTruncations - prev.SnapshotTruncations,
 	}
 }
 
@@ -300,6 +333,10 @@ func (s StatsSnapshot) String() string {
 	if s.RetryParks != 0 || s.RetryWakes != 0 {
 		base += fmt.Sprintf(" retryPark(parks=%d wakes=%d)",
 			s.RetryParks, s.RetryWakes)
+	}
+	if s.Snapshots != 0 || s.SnapshotFallbacks != 0 {
+		base += fmt.Sprintf(" snapshot(txs=%d reads=%d fallbacks=%d truncations=%d)",
+			s.Snapshots, s.SnapshotReads, s.SnapshotFallbacks, s.SnapshotTruncations)
 	}
 	if s.WALRecords != 0 || s.WALFlushes != 0 || s.WALCheckpoints != 0 {
 		base += fmt.Sprintf(" wal(records=%d flushes=%d fsyncs=%d ckpts=%d)",

@@ -110,6 +110,16 @@ type Config struct {
 	// exponential backoff, in busy-wait iterations. 0 means 1 << 14.
 	BackoffMaxSpins int
 
+	// SnapshotChainDepth bounds each Var's version chain: how many
+	// superseded values writers retain for active snapshot readers
+	// (AtomicSnapshot; see snapshot.go). Deeper chains let slower
+	// snapshots survive more overwrites of a hot var before falling
+	// back to the validating path; each retained version costs one
+	// small node plus the value box it pins. 0 means 8; negative
+	// disables chains entirely (snapshots fall back on the first read
+	// of a var overwritten since their pin).
+	SnapshotChainDepth int
+
 	// DisableQuiescence turns off post-commit quiescence. Real STMs
 	// cannot do this safely (it is what makes privatization sound); it
 	// exists for the Figure 1 ablation that measures how much of the
@@ -152,6 +162,9 @@ func (c Config) withDefaults() Config {
 	if c.BackoffMaxSpins <= 0 {
 		c.BackoffMaxSpins = 1 << 14
 	}
+	if c.SnapshotChainDepth == 0 {
+		c.SnapshotChainDepth = 8
+	}
 	return c
 }
 
@@ -189,6 +202,16 @@ type Runtime struct {
 	// watch sets, see watch.go).
 	parked atomic.Int64
 
+	// Snapshot registry (snapshot.go): active snapshot pins and the
+	// truncation horizon writers consult when publishing. The map is
+	// mutated only at snapshot begin/end — never on the read path — so
+	// a mutex is cheap; snapHorizon is the lock-free digest writers
+	// load once per commit.
+	snapMu      sync.Mutex
+	snapActive  map[uint64]uint64 // token → floor (registered pre-pin clock)
+	snapCtr     uint64            // token source, under snapMu
+	snapHorizon atomic.Uint64     // min active floor, or noSnapshotHorizon
+
 	ownerCtr atomic.Uint64
 	txIDCtr  atomic.Uint64 // history transaction IDs (recording only)
 
@@ -214,10 +237,12 @@ type Runtime struct {
 func New(cfg Config) *Runtime {
 	cfg = cfg.withDefaults()
 	rt := &Runtime{
-		cfg:   cfg,
-		slots: make([]slot, cfg.MaxThreads),
-		rec:   cfg.Recorder,
+		cfg:        cfg,
+		slots:      make([]slot, cfg.MaxThreads),
+		rec:        cfg.Recorder,
+		snapActive: make(map[uint64]uint64),
 	}
+	rt.snapHorizon.Store(noSnapshotHorizon)
 	rt.stats.init()
 	if cfg.Inject != nil {
 		rt.inj = newInjector(*cfg.Inject)

@@ -16,6 +16,7 @@ const (
 	abortSyscall                   // irrevocability requested under HTM
 	abortExplicitRetry             // user called Retry (condition sync)
 	abortEscalate                  // user called Irrevocable under STM
+	abortSnapshot                  // snapshot read outran the version chain
 )
 
 func (r abortReason) String() string {
@@ -30,6 +31,8 @@ func (r abortReason) String() string {
 		return "retry"
 	case abortEscalate:
 		return "escalate"
+	case abortSnapshot:
+		return "snapshot"
 	default:
 		return "none"
 	}
@@ -80,6 +83,13 @@ type Tx struct {
 	serial bool
 	htm    bool
 	slow   bool // htm mode or recorder attached: per-read slow path
+	snap   bool // snapshot mode: reads resolve at the pinned rv (snapshot.go)
+	// ro marks the whole Atomic call read-only: set for snapshot entry
+	// points and kept across fallback attempts, so Set fails the same
+	// way whether or not the snapshot fell back.
+	ro bool
+
+	snapReads uint64 // reads resolved in snapshot mode (flushed to stats)
 
 	owner    OwnerID
 	attempts int
@@ -155,7 +165,21 @@ func (tx *Tx) recordReadSlow(m *varMeta, word uint64) {
 	}
 }
 
+// snapRead accounts one snapshot-mode read; ver is the commit version
+// of the value the pin resolved to (what the consistent-cut checker
+// verifies against the pinned timestamp).
+func (tx *Tx) snapRead(m *varMeta, ver uint64) {
+	tx.snapReads++
+	if tx.slow && tx.rt.rec != nil {
+		tx.rt.rec.Record(Event{Kind: EvRead, TxID: tx.id, Owner: tx.owner,
+			Var: m.id, Ver: ver})
+	}
+}
+
 func (tx *Tx) recordWrite(v txVar, m *varMeta, pending any) {
+	if tx.ro {
+		panic("stm: write inside a snapshot (read-only) transaction")
+	}
 	tx.writes = append(tx.writes, writeEntry{v: v, m: m, pending: pending})
 	if tx.wmap != nil {
 		tx.wmap[m] = len(tx.writes) - 1
@@ -248,6 +272,12 @@ func (tx *Tx) abortConflict() {
 // from a state where it did not call Retry.
 func (tx *Tx) Retry() {
 	tx.mustBeActive()
+	if tx.snap {
+		// A pinned snapshot can never be woken: nothing it reads will
+		// ever change at its timestamp. Fall back to the validating
+		// read-only path, which registers on its read set and parks.
+		panic(txSignal{abortSnapshot})
+	}
 	if tx.serial {
 		// A serial transaction runs alone; waiting for another commit
 		// would deadlock. Abort serial mode and re-run as a normal
@@ -285,6 +315,13 @@ func (tx *Tx) Irrevocable() {
 // freely start new transactions.
 func (tx *Tx) AfterCommit(fn func()) {
 	tx.mustBeActive()
+	if tx.ro {
+		// Snapshot transactions commit without quiescing (they hold no
+		// registry slot), so the "after quiescence" contract hooks rely
+		// on cannot be honored; same answer on the fallback path so the
+		// failure is deterministic.
+		panic("stm: AfterCommit inside a snapshot (read-only) transaction")
+	}
 	tx.hooks = append(tx.hooks, fn)
 }
 
@@ -295,6 +332,9 @@ func (tx *Tx) AfterCommit(fn func()) {
 // operations may refer to memory the transaction freed.
 func (tx *Tx) QueueFree(fn func()) {
 	tx.mustBeActive()
+	if tx.ro {
+		panic("stm: QueueFree inside a snapshot (read-only) transaction")
+	}
 	tx.frees = append(tx.frees, fn)
 }
 
@@ -383,6 +423,9 @@ func (tx *Tx) reset() {
 	tx.serial = false
 	tx.htm = false
 	tx.slow = false
+	tx.snap = false
+	tx.ro = false
+	tx.snapReads = 0
 }
 
 func (tx *Tx) String() string {

@@ -29,15 +29,25 @@ type varMeta struct {
 	// watch is the lazily installed retry-watcher set (nil until the
 	// first retry parks on this var; see watch.go).
 	watch atomic.Pointer[watchSet]
+	// hist is the var's version chain: superseded values kept for active
+	// snapshot readers, newest first (nil while no snapshot needs them;
+	// see snapshot.go). Only publishers holding the var's lock bit link
+	// or cut nodes; snapshot readers walk it lock-free.
+	hist atomic.Pointer[histNode]
 }
 
 // txVar is the type-erased interface a Var presents to the commit path.
 type txVar interface {
 	meta() *varMeta
 	// publish stores a pending boxed value (a *T produced by Set) as the
-	// committed snapshot. It is only called while the var is locked by
-	// the committing transaction, or in serial mode.
-	publish(pending any)
+	// committed snapshot, first linking the superseded value onto the
+	// version chain when an active snapshot (horizon) may need it. It is
+	// only called while the var's lock bit is held by the committing
+	// transaction. wv is the commit version, horizon the runtime's
+	// snapshot truncation horizon and depth the chain bound, both loaded
+	// once per commit; the return value is the number of chain nodes the
+	// depth bound truncated away from still-registered snapshots.
+	publish(pending any, wv, horizon uint64, depth int) int
 }
 
 // Var is a transactional variable holding a value of type T. The committed
@@ -61,8 +71,68 @@ func NewVar[T any](init T) *Var[T] {
 
 func (v *Var[T]) meta() *varMeta { return &v.m }
 
-func (v *Var[T]) publish(pending any) {
+func (v *Var[T]) publish(pending any, wv, horizon uint64, depth int) int {
+	dropped := v.pushHist(wv, horizon, depth)
 	v.val.Store(pending.(*T))
+	return dropped
+}
+
+// pushHist links the currently committed value (about to be superseded
+// at version wv) onto the version chain, then enforces the horizon and
+// depth bounds. Must be called with the var's lock bit held — the
+// version bits beneath it still carry the superseded value's commit
+// version, and holding it serializes all chain mutation.
+func (v *Var[T]) pushHist(wv, horizon uint64, depth int) int {
+	if horizon == noSnapshotHorizon || depth <= 0 {
+		// No active snapshot anywhere: nobody can ever read the old
+		// value again, and any retained chain is garbage — drop it so
+		// idle memory is exactly one value per var.
+		if v.m.hist.Load() != nil {
+			v.m.hist.Store(nil)
+		}
+		return 0
+	}
+	if horizon >= wv {
+		// Every active snapshot pinned at or after this commit draws
+		// its timestamp ≥ wv, so all of them want the NEW value; the
+		// superseded one needs no node. (Existing nodes, if any, all
+		// have until ≤ wv ≤ horizon and are unreachable, but cutting
+		// them here would cost a load on every commit — the next push
+		// with horizon < wv trims them.)
+		return 0
+	}
+	n := &histNode{val: v.val.Load(), ver: wordVersion(v.m.lock.Load()), until: wv}
+	n.next.Store(v.m.hist.Load())
+	v.m.hist.Store(n)
+	return trimHist(n, horizon, depth)
+}
+
+// trimHist cuts the chain after the last node some active snapshot can
+// still need (until > horizon), bounded at depth nodes total. It
+// returns how many still-needed nodes the depth bound discarded —
+// snapshots old enough to want those will miss and fall back. Cutting
+// mutates only a kept node's next pointer (atomically, to nil); a
+// reader that already walked past the cut sees immutable, still-correct
+// nodes.
+func trimHist(head *histNode, horizon uint64, depth int) int {
+	kept := 1 // head
+	n := head
+	for {
+		next := n.next.Load()
+		if next == nil {
+			return 0
+		}
+		if kept >= depth || next.until <= horizon {
+			dropped := 0
+			for m := next; m != nil && m.until > horizon; m = m.next.Load() {
+				dropped++
+			}
+			n.next.Store(nil)
+			return dropped
+		}
+		kept++
+		n = next
+	}
 }
 
 // ensureID lazily assigns an ID to zero-value Vars (those not built with
@@ -104,6 +174,9 @@ func (v *Var[T]) Get(tx *Tx) T {
 			return *(tx.writes[idx].pending.(*T))
 		}
 	}
+	if tx.snap {
+		return v.snapGet(tx)
+	}
 	if tx.serial {
 		// Serial transactions run alone; direct read.
 		p := v.val.Load()
@@ -139,6 +212,52 @@ func (v *Var[T]) Get(tx *Tx) T {
 		}
 		tx.recordRead(&v.m, w1)
 		return deref(p)
+	}
+}
+
+// snapGet resolves a read at the transaction's pinned snapshot version:
+// the current value if it is old enough, else the newest version-chain
+// entry whose validity window [ver, until) covers the pin. It never
+// validates, never extends and never aborts on conflict — a concurrent
+// commit's lock bit is only spun through, exactly like Load. If the
+// chain was depth-truncated past the pin, it misses and aborts the
+// attempt with abortSnapshot, and the Atomic loop re-runs fn on the
+// validating read-only path (never a wrong value).
+func (v *Var[T]) snapGet(tx *Tx) T {
+	sv := tx.rv
+	for {
+		w1 := v.m.lock.Load()
+		if wordLocked(w1) {
+			// An in-flight publish may be installing the version the
+			// pin needs; wait it out rather than guessing.
+			spinPause()
+			continue
+		}
+		if wordVersion(w1) <= sv {
+			p := v.val.Load()
+			if v.m.lock.Load() != w1 {
+				continue // concurrent commit touched v; re-read
+			}
+			tx.snapRead(&v.m, wordVersion(w1))
+			return deref(p)
+		}
+		// Current value is newer than the pin: resolve through the
+		// chain. Having observed the lock word unlocked at a version
+		// > sv, every superseding writer's publish — which links the
+		// chain node before releasing the lock — is fully visible, so
+		// if the committed-at-sv value is retained at all, it is here.
+		// Windows descend strictly, so the walk stops at the first node
+		// too old to matter.
+		for n := v.m.hist.Load(); n != nil; n = n.next.Load() {
+			if n.until <= sv {
+				break
+			}
+			if n.ver <= sv {
+				tx.snapRead(&v.m, n.ver)
+				return deref(n.val.(*T))
+			}
+		}
+		panic(txSignal{abortSnapshot})
 	}
 }
 
@@ -210,6 +329,12 @@ func (v *Var[T]) StoreDirect(rt *Runtime, x T) {
 		}
 		if v.m.lock.CompareAndSwap(w, w|lockedBit) {
 			wv := rt.clock.Add(1)
+			horizon := rt.snapHorizon.Load()
+			if dropped := v.pushHist(wv, horizon, rt.cfg.SnapshotChainDepth); dropped > 0 {
+				rt.stats.SnapshotTruncations.Add(uint64(dropped))
+				rt.recEvent(Event{Kind: EvSnapTruncate, Var: v.m.id,
+					Ver: horizon, Aux: uint64(dropped)})
+			}
 			v.val.Store(&x)
 			v.m.lock.Store(packVersion(wv))
 			rt.recEvent(Event{Kind: EvDirectWrite, Var: v.m.id, Ver: wv})

@@ -31,6 +31,15 @@ go run ./cmd/stmtorture -duration 2s -threads 8 -mode htm -check -inject -seed 1
 echo "==> retry-storm smoke (watcher workload, injected stall windows)"
 go run ./cmd/stmtorture -duration 2s -threads 8 -workload watcher -check -inject -seed 3
 
+# Snapshot-scanner smoke: writers hammer a conserved keyspace while
+# snapshot transactions sum it, under the race detector (the version
+# chains are lock-free reader-side), with the recorded history verified
+# against the snapshot-consistency axioms (pinned cut, truncation never
+# ahead of a registered reader). A torn cut fails the conservation
+# check; an unsound chain mutation trips the race detector.
+echo "==> snapshot-scanner smoke (race detector + history check)"
+go run -race ./cmd/stmtorture -duration 2s -threads 8 -workload scanner -check -seed 5
+
 # The reactive kit (rate limiter, pub/sub) and the blocking queue ops it
 # rides on are all about parking and waking under contention: run their
 # tests under the race detector explicitly, uncached.
@@ -65,6 +74,13 @@ trap 'rm -f "$tmpjson"' EXIT
 go run ./cmd/stmbench -quick -json "$tmpjson" >/dev/null
 go run ./cmd/stmbench -validate "$tmpjson"
 
+# Allocation gate: re-run the hot suite against the run above as its
+# baseline; the read-only and small-write rows must not regress in
+# allocs/op (absolute slack, see bench.AllocGate). Quick targets keep
+# this cheap, and allocs/op — unlike ns/op — is stable on noisy CI.
+echo "==> stmbench allocgate (hot-path allocs must not regress)"
+go run ./cmd/stmbench -quick -baseline "$tmpjson" -allocgate >/dev/null
+
 # Scaling-suite smoke at 2 threads: exercises the striped-size maps and
 # the deferred chunked resize (resize-storm) end to end, and validates
 # the emitted document. Again no timing assertions.
@@ -77,6 +93,14 @@ go run ./cmd/stmbench -validate "$tmpjson"
 # (which now carries retry_parks/retry_wakes and wake_p99_ns columns).
 echo "==> stmbench reactive-suite smoke (quick, 4 readers)"
 go run ./cmd/stmbench -suite reactive -quick -maxreaders 4 -json "$tmpjson" >/dev/null
+go run ./cmd/stmbench -validate "$tmpjson"
+
+# Mixed-suite smoke: the writers-vs-scanner ladder (both scan variants)
+# capped at 2 writers, with the emitted document validated. The suite
+# self-checks every scan's cut (branch sum vs account sum), so a torn
+# snapshot fails the run, not just the JSON shape.
+echo "==> stmbench mixed-suite smoke (quick, 2 writers, both scan variants)"
+go run ./cmd/stmbench -suite mixed -quick -maxwriters 2 -json "$tmpjson" >/dev/null
 go run ./cmd/stmbench -validate "$tmpjson"
 
 # Metrics-endpoint smoke: run kvbench with a live /metrics server and
