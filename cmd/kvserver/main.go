@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,9 +35,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strconv"
-	"strings"
 	"syscall"
+	"time"
 
 	"deferstm/internal/bench"
 	"deferstm/internal/check"
@@ -152,8 +152,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	go func() { serveDone <- srv.Serve(ln) }()
 	select {
 	case sig := <-sigs:
-		logger.Printf("%v: shutting down", sig)
-		srv.Close()
+		// Graceful drain: kick the readers, let every already-decoded
+		// request wait out its durability and send its ack, then tear
+		// down. A second signal (or the timeout) hard-closes.
+		logger.Printf("%v: draining", sig)
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		go func() {
+			<-sigs
+			scancel()
+		}()
+		if err := srv.Shutdown(sctx); err != nil {
+			logger.Printf("drain cut short: %v", err)
+		}
+		scancel()
 		<-serveDone
 	case err := <-serveDone:
 		if err != nil {
@@ -189,89 +200,29 @@ func runVerify(stdout, stderr io.Writer, info *kv.RecoveryInfo, ackfile string) 
 		fmt.Fprintf(stderr, "kvserver: -ackfile: %v\n", err)
 		return 1
 	}
-	acked, err := parseAckfile(string(b), info.Shards)
+	acked, err := check.ParseAckfile(string(b), info.Shards)
 	if err != nil {
 		fmt.Fprintf(stderr, "kvserver: -ackfile %s: %v\n", ackfile, err)
 		return 1
 	}
-	// Synthesize the minimal event history this side can attest to, per
-	// lane: the append stream reached at least max(acked, recovered),
-	// and the durable watermark was published through the acked LSN.
-	// Contiguity of intermediate LSNs holds by construction (each lane
-	// assigns them sequentially), so appends are recorded for the full
-	// range. TxIDs are unique per synthesized append — this history
-	// cannot attest which records formed cross-shard batches, so batch
-	// atomicity is covered by the in-process crash tests, not here.
-	var events []stm.Event
-	lanes := make([]check.RecoveredLane, info.Shards)
-	txID := uint64(0)
-	for lane := 0; lane < info.Shards; lane++ {
-		var recovered uint64
-		if lane < len(info.Lanes) {
-			recovered = info.Lanes[lane].LastLSN // zero in -mode none (no lanes)
-		}
-		lanes[lane] = check.RecoveredLane{LogVar: uint64(lane), LastLSN: recovered}
-		maxAppended := recovered
-		if acked[lane] > maxAppended {
-			maxAppended = acked[lane]
-		}
-		for lsn := uint64(1); lsn <= maxAppended; lsn++ {
-			txID++
-			events = append(events, stm.Event{Kind: stm.EvWALAppend, TxID: txID, Var: uint64(lane), Aux: lsn})
-		}
-		events = append(events, stm.Event{Kind: stm.EvWALDurable, Var: uint64(lane), Aux: acked[lane]})
+	// check.AckedPrefixLanes synthesizes the minimal per-lane history
+	// both sides can attest to (appends through max(acked, recovered),
+	// watermark through acked) and runs the lane-prefix axioms over it.
+	recovered := make([]uint64, info.Shards)
+	for lane := 0; lane < info.Shards && lane < len(info.Lanes); lane++ {
+		recovered[lane] = info.Lanes[lane].LastLSN // zero in -mode none (no lanes)
 	}
-	violations := check.RecoveredPrefixLanes(events, lanes)
+	violations := check.AckedPrefixLanes(acked, recovered)
 	for _, v := range violations {
 		fmt.Fprintf(stderr, "kvserver: verify: %s\n", v.Msg)
 	}
 	if len(violations) > 0 {
 		return 1
 	}
-	for lane := 0; lane < len(lanes); lane++ {
+	for lane := 0; lane < info.Shards; lane++ {
 		fmt.Fprintf(stdout, "verify ok: lane %d recovered LSN %d covers acked LSN %d\n",
-			lane, lanes[lane].LastLSN, acked[lane])
+			lane, recovered[lane], acked[lane])
 	}
 	fmt.Fprintf(stdout, "verify ok: %d lanes, %d keys\n", info.Shards, info.Keys)
 	return 0
-}
-
-// parseAckfile reads either the legacy single-number format (lane 0) or
-// per-lane "lane lsn" lines, returning max acked LSN per lane.
-func parseAckfile(content string, shards int) ([]uint64, error) {
-	acked := make([]uint64, shards)
-	lines := strings.Split(strings.TrimSpace(content), "\n")
-	for _, line := range lines {
-		fields := strings.Fields(line)
-		switch len(fields) {
-		case 0:
-			continue
-		case 1:
-			lsn, err := strconv.ParseUint(fields[0], 10, 64)
-			if err != nil {
-				return nil, err
-			}
-			if lsn > acked[0] {
-				acked[0] = lsn
-			}
-		case 2:
-			lane, err := strconv.Atoi(fields[0])
-			if err != nil {
-				return nil, err
-			}
-			if lane < 0 || lane >= shards {
-				return nil, fmt.Errorf("ack for lane %d of a %d-lane store", lane, shards)
-			}
-			lsn, err := strconv.ParseUint(fields[1], 10, 64)
-			if err != nil {
-				return nil, err
-			}
-			if lsn > acked[lane] {
-				acked[lane] = lsn
-			}
-		default:
-			return nil, fmt.Errorf("bad ackfile line %q", line)
-		}
-	}
-	return acked, nil
 }

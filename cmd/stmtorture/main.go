@@ -104,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		duration  = fs.Duration("duration", 5*time.Second, "run time per workload")
 		threads   = fs.Int("threads", 8, "concurrent worker goroutines")
-		workload  = fs.String("workload", "all", "bank|tree|defer|locks|kvstore|watcher|scanner|selfcheck|all")
+		workload  = fs.String("workload", "all", "bank|tree|defer|locks|kvstore|watcher|scanner|replica|selfcheck|all")
 		mode      = fs.String("mode", "stm", "stm|htm")
 		seed      = fs.Uint64("seed", 1, "base seed for worker RNGs and fault injection")
 		checkHist = fs.Bool("check", false, "record the full event history and verify serializability, opacity, deferral atomicity and 2PL")
@@ -180,9 +180,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"kvstore":   tortureKVStore,
 		"watcher":   tortureWatcher,
 		"scanner":   tortureScanner,
+		"replica":   tortureReplica,
 		"selfcheck": tortureSelfcheck,
 	}
-	order := []string{"bank", "tree", "defer", "locks", "kvstore", "watcher", "scanner"} // selfcheck is opt-in
+	order := []string{"bank", "tree", "defer", "locks", "kvstore", "watcher", "scanner"} // replica (own sockets/goroutine budget) and selfcheck are opt-in
 
 	var total int64
 	ran := 0

@@ -234,19 +234,42 @@ func (m *HashMap[V]) Range(tx *stm.Tx, fn func(k int64, v V) bool) {
 	}
 }
 
-// SnapshotRange runs fn over every entry inside one snapshot-mode
-// transaction (stm.AtomicSnapshot): the iteration sees the map as of a
-// single version-clock instant, never aborts on conflicting writers and
-// never forces them to wait — a long scan over a hot map costs the
-// writers nothing. If the map's version chains cannot serve the
-// snapshot (depth overflow, or a migration chunk held the map's lock at
-// the pin), the runtime transparently re-runs fn on the validating
-// read-only path.
+// SnapshotRange calls fn for every entry of one consistent cut of the
+// map — a snapshot-mode transaction (stm.AtomicSnapshot) that sees the
+// map as of a single version-clock instant, never aborts on conflicting
+// writers and never forces them to wait. fn observes each key exactly
+// once per call, even when the scan internally re-executes: the runtime
+// falls back to the validating read-only path when the version chains
+// cannot serve the snapshot (depth overflow, or a migration chunk held
+// the map's lock at the pin), and that path may run the iteration more
+// than once. The cut is therefore collected inside the transaction and
+// handed to fn only after it succeeded — streaming fn directly from the
+// transaction used to double-observe keys whenever a mid-resize scan
+// was re-run. The buffer costs O(n) memory; fn returning false stops
+// the delivery early (the cut itself is always collected in full).
 func (m *HashMap[V]) SnapshotRange(rt *stm.Runtime, fn func(k int64, v V) bool) error {
-	return rt.AtomicSnapshot(func(tx *stm.Tx) error {
-		m.Range(tx, fn)
+	type entry struct {
+		k int64
+		v V
+	}
+	var cut []entry
+	err := rt.AtomicSnapshot(func(tx *stm.Tx) error {
+		cut = cut[:0] // re-execution restarts the iteration from scratch
+		m.Range(tx, func(k int64, v V) bool {
+			cut = append(cut, entry{k: k, v: v})
+			return true
+		})
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	for _, e := range cut {
+		if !fn(e.k, e.v) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Resizes reports how many resizes have completed (snapshot).

@@ -630,12 +630,32 @@ func (s *Store) SnapshotView(fn func(tx *stm.Tx) error) error {
 // Scan iterates every key/value pair as one consistent snapshot of the
 // whole store (all shards at a single pinned version) until fn returns
 // false. It is the abort-free way to run long full-store scans under
-// write traffic; see SnapshotView for the mechanism.
+// write traffic; see SnapshotView for the mechanism. fn observes each
+// key exactly once per call: the snapshot transaction may internally
+// re-execute (validating fallback), so the cut is collected inside the
+// transaction — resetting on re-execution — and delivered to fn only
+// after it succeeded. Callers composing their own transactional scans
+// via SnapshotView must do that reset themselves.
 func (s *Store) Scan(fn func(k, v string) bool) error {
-	return s.SnapshotView(func(tx *stm.Tx) error {
-		s.Range(tx, fn)
+	type entry struct{ k, v string }
+	var cut []entry
+	err := s.SnapshotView(func(tx *stm.Tx) error {
+		cut = cut[:0]
+		s.Range(tx, func(k, v string) bool {
+			cut = append(cut, entry{k: k, v: v})
+			return true
+		})
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	for _, e := range cut {
+		if !fn(e.k, e.v) {
+			return nil
+		}
+	}
+	return nil
 }
 
 // Get reads key inside tx (for composing with other transactional state).

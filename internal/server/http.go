@@ -2,8 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
 
 	"deferstm/internal/kv"
 	"deferstm/internal/stm"
@@ -36,7 +39,13 @@ func (s *Server) RegisterHTTP(mux *http.ServeMux) {
 		key := r.URL.Query().Get("key")
 		var val string
 		var found bool
-		err := s.store.View(func(tx *stm.Tx) error {
+		view := s.store.View
+		if s.opts.ReadOnly {
+			// Same rule as the wire protocol: replica reads ride the
+			// snapshot path, ordered at the applied cut.
+			view = s.store.SnapshotView
+		}
+		err := view(func(tx *stm.Tx) error {
 			val, found = s.store.Get(tx, key)
 			return nil
 		})
@@ -50,6 +59,10 @@ func (s *Server) RegisterHTTP(mux *http.ServeMux) {
 	mux.HandleFunc("/kv/put", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPut && r.Method != http.MethodPost {
 			http.Error(w, "PUT or POST", http.StatusMethodNotAllowed)
+			return
+		}
+		if s.opts.ReadOnly {
+			fail(w, http.StatusForbidden, errReadOnly)
 			return
 		}
 		key := r.URL.Query().Get("key")
@@ -78,6 +91,10 @@ func (s *Server) RegisterHTTP(mux *http.ServeMux) {
 			http.Error(w, "POST or DELETE", http.StatusMethodNotAllowed)
 			return
 		}
+		if s.opts.ReadOnly {
+			fail(w, http.StatusForbidden, errReadOnly)
+			return
+		}
 		key := r.URL.Query().Get("key")
 		lsn, err := s.store.Update(func(tx *stm.Tx, b *kv.Batch) error {
 			b.Delete(key)
@@ -92,6 +109,43 @@ func (s *Server) RegisterHTTP(mux *http.ServeMux) {
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"lsn": lsn})
+	})
+
+	mux.HandleFunc("/kv/scan", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		prefix := q.Get("prefix")
+		limit := 1000
+		if l := q.Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n <= 0 {
+				fail(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+				return
+			}
+			limit = n
+		}
+		// One consistent snapshot across all shards (Store.Scan pins a
+		// single version) — on a replica this is the LastDurable-
+		// consistent cut the stream applied, abort-free under traffic.
+		entries := map[string]string{}
+		truncated := false
+		err := s.store.Scan(func(k, v string) bool {
+			if !strings.HasPrefix(k, prefix) {
+				return true
+			}
+			if len(entries) >= limit {
+				truncated = true
+				return false
+			}
+			entries[k] = v
+			return true
+		})
+		if err != nil {
+			fail(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"entries": entries, "count": len(entries), "truncated": truncated,
+		})
 	})
 
 	mux.HandleFunc("/kv/stats", func(w http.ResponseWriter, r *http.Request) {

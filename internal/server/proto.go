@@ -25,6 +25,8 @@
 //	       the server will append for it
 //	WATCH  u64 lsn — respond once the durable watermark covers lsn
 //	STATS  (empty)
+//	REPL   u32 n, n × u64 — per-lane resume cursors (n = 0 on a fresh
+//	       bootstrap; otherwise n must equal the store's lane count)
 //
 // Response bodies (status OK) by op:
 //
@@ -34,11 +36,20 @@
 //	BATCH  u64 lsn
 //	WATCH  u64 watermark (≥ the requested lsn)
 //	STATS  str JSON (server.Stats)
+//	REPL   u32 lanes — the store's lane count
 //
 // An error response (status 1) carries `str message` regardless of op.
 // The id is an opaque client token echoed verbatim; the server answers
 // a connection's requests strictly in arrival order, so ids exist for
 // client bookkeeping, not reordering.
+//
+// REPL is special: after its OK response the connection stops being a
+// request/response channel and becomes a one-way server→client stream
+// of replication frames (see ReplFrame) — the same u32 length prefix,
+// carrying lane-tagged checkpoint blobs, WAL record payloads, and
+// durable-watermark heartbeats. The client must send nothing further;
+// it resumes after a disconnect by reconnecting and sending a new REPL
+// hello with its per-lane cursors.
 package server
 
 import (
@@ -59,6 +70,11 @@ const (
 	OpBatch = 4
 	OpWatch = 5
 	OpStats = 6
+	// OpReplHello upgrades the connection to a replication stream: the
+	// request carries the follower's per-lane resume cursors, the OK
+	// response the lane count, and every frame after that is an encoded
+	// ReplFrame flowing server→client only.
+	OpReplHello = 7
 )
 
 // Response status codes.
@@ -78,10 +94,11 @@ var errFrameTooBig = errors.New("server: frame exceeds size limit")
 type Request struct {
 	Op  byte
 	ID  uint64
-	Key string  // GET, PUT, DEL
-	Val string  // PUT
-	Ops []kv.Op // BATCH
-	LSN uint64  // WATCH
+	Key     string   // GET, PUT, DEL
+	Val     string   // PUT
+	Ops     []kv.Op  // BATCH
+	LSN     uint64   // WATCH
+	Cursors []uint64 // REPL: per-lane resume cursors (empty = bootstrap)
 }
 
 // Response is one decoded server response.
@@ -94,6 +111,7 @@ type Response struct {
 	LSN    uint64 // PUT, DEL, BATCH
 	Water  uint64 // WATCH
 	Stats  string // STATS (JSON)
+	Shards int    // REPL: the store's lane count
 	Err    string // status Err
 }
 
@@ -112,6 +130,13 @@ func appendU64(dst []byte, v uint64) []byte {
 func appendStr(dst []byte, s string) []byte {
 	dst = appendU32(dst, uint32(len(s)))
 	return append(dst, s...)
+}
+
+func takeU32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("server: truncated u32")
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], nil
 }
 
 func takeU64(b []byte) (uint64, []byte, error) {
@@ -147,6 +172,11 @@ func EncodeRequest(req Request) []byte {
 	case OpWatch:
 		out = appendU64(out, req.LSN)
 	case OpStats:
+	case OpReplHello:
+		out = appendU32(out, uint32(len(req.Cursors)))
+		for _, c := range req.Cursors {
+			out = appendU64(out, c)
+		}
 	}
 	return out
 }
@@ -183,6 +213,19 @@ func DecodeRequest(b []byte) (Request, error) {
 			return req, err
 		}
 	case OpStats:
+	case OpReplHello:
+		var n uint32
+		if n, b, err = takeU32(b); err != nil {
+			return req, err
+		}
+		if uint64(len(b)) < uint64(n)*8 {
+			return req, fmt.Errorf("server: truncated cursor vector (%d of %d lanes)", len(b)/8, n)
+		}
+		for i := uint32(0); i < n; i++ {
+			var c uint64
+			c, b, _ = takeU64(b)
+			req.Cursors = append(req.Cursors, c)
+		}
 	default:
 		return req, fmt.Errorf("server: unknown op %d", req.Op)
 	}
@@ -213,6 +256,8 @@ func EncodeResponse(resp Response) []byte {
 		out = appendU64(out, resp.Water)
 	case OpStats:
 		out = appendStr(out, resp.Stats)
+	case OpReplHello:
+		out = appendU32(out, uint32(resp.Shards))
 	}
 	return out
 }
@@ -258,6 +303,12 @@ func DecodeResponse(b []byte) (Response, error) {
 		if resp.Stats, b, err = takeStr(b); err != nil {
 			return resp, err
 		}
+	case OpReplHello:
+		var n uint32
+		if n, b, err = takeU32(b); err != nil {
+			return resp, err
+		}
+		resp.Shards = int(n)
 	default:
 		return resp, fmt.Errorf("server: unknown response op %d", resp.Op)
 	}
@@ -266,6 +317,14 @@ func DecodeResponse(b []byte) (Response, error) {
 	}
 	return resp, nil
 }
+
+// WriteFrame writes one length-prefixed frame (exported for the
+// replication follower, which speaks raw frames instead of the
+// request/response Client).
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
+// ReadFrame reads one length-prefixed frame, enforcing maxFrame.
+func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) { return readFrame(r, maxFrame) }
 
 // writeFrame writes one length-prefixed frame.
 func writeFrame(w io.Writer, payload []byte) error {

@@ -36,7 +36,17 @@ type Options struct {
 	// Logf, when non-nil, receives one line per noteworthy connection
 	// event (accept failures, protocol errors).
 	Logf func(format string, args ...any)
+	// ReadOnly refuses mutations (PUT, DEL, BATCH) and serves GET on the
+	// store's snapshot path — zero validation aborts, reads ordered at
+	// the replica's applied (LastDurable-consistent) cut. This is the
+	// replica serving mode: its store is written only by the replication
+	// stream.
+	ReadOnly bool
 }
+
+// errReadOnly is the refusal both the wire protocol and the HTTP
+// fallback give mutations on a replica.
+var errReadOnly = errors.New("server: read-only replica")
 
 func (o Options) window() int {
 	if o.Window <= 0 {
@@ -61,6 +71,11 @@ type Server struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	// streamCtx governs replication streams, which never end on their
+	// own: Shutdown cancels it so streams drain out of the graceful
+	// wait, while ordinary connections keep their durability waits.
+	streamCtx    context.Context
+	streamCancel context.CancelFunc
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -70,7 +85,7 @@ type Server struct {
 
 	nConns     atomic.Int64
 	totalConns atomic.Uint64
-	reqs       [OpStats + 1]atomic.Uint64
+	reqs       [OpReplHello + 1]atomic.Uint64
 	reqErrs    atomic.Uint64
 
 	ackLatency *obs.Histogram
@@ -106,13 +121,16 @@ type Stats struct {
 // idempotent, so shutdown paths may close it redundantly anyway).
 func New(store *kv.Store, opts Options) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
+	streamCtx, streamCancel := context.WithCancel(ctx)
 	s := &Server{
-		store:  store,
-		rt:     store.Runtime(),
-		opts:   opts,
-		ctx:    ctx,
-		cancel: cancel,
-		conns:  map[net.Conn]struct{}{},
+		store:        store,
+		rt:           store.Runtime(),
+		opts:         opts,
+		ctx:          ctx,
+		cancel:       cancel,
+		streamCtx:    streamCtx,
+		streamCancel: streamCancel,
+		conns:        map[net.Conn]struct{}{},
 	}
 	reg := opts.Registry
 	s.ackLatency = reg.NewHistogram("deferstm_server_ack_seconds",
@@ -133,10 +151,7 @@ func New(store *kv.Store, opts Options) *Server {
 			}
 			return lag
 		})
-	for op, name := range map[byte]string{
-		OpGet: "get", OpPut: "put", OpDel: "del",
-		OpBatch: "batch", OpWatch: "watch", OpStats: "stats",
-	} {
+	for op, name := range opNames {
 		op := op
 		reg.Counter(fmt.Sprintf("deferstm_server_requests_total{op=%q}", name),
 			"Requests served, by op.", func() uint64 { return s.reqs[op].Load() })
@@ -146,8 +161,14 @@ func New(store *kv.Store, opts Options) *Server {
 	return s
 }
 
-// Serve accepts connections on ln until Close. It returns nil after a
-// Close-initiated shutdown, or the accept error that stopped it.
+var opNames = map[byte]string{
+	OpGet: "get", OpPut: "put", OpDel: "del",
+	OpBatch: "batch", OpWatch: "watch", OpStats: "stats",
+	OpReplHello: "repl",
+}
+
+// Serve accepts connections on ln until Close or Shutdown. It returns
+// nil after either shutdown path, or the accept error that stopped it.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -161,7 +182,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
-			if s.ctx.Err() != nil {
+			// Shutdown closes the listener without cancelling s.ctx (the
+			// graceful path keeps durability waits alive), so "closed"
+			// alone also means a clean stop — returning the accept error
+			// there made every graceful drain look like a failure.
+			if s.ctx.Err() != nil || s.stopping() {
 				return nil
 			}
 			return err
@@ -181,8 +206,67 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
+// Shutdown stops accepting and drains gracefully: every response
+// already owed to a client — including ones still waiting on the
+// durable watermark — is written before its connection closes. This is
+// the SIGTERM path; Close is the hard stop. The old drain (Close on
+// signal) cancelled the per-connection contexts, so writer goroutines
+// abandoned durable-but-unwritten acks below the watermark: the client
+// saw a clean TCP close with its committed writes unacknowledged.
+//
+// Mechanically: the listener closes, replication streams are released
+// (they never end on their own), and each connection's reader is kicked
+// with an immediate read deadline — it enqueues its clean-shutdown
+// sentinel and the writer drains the full ack window, durability waits
+// intact, before teardown. If ctx ends first the remaining connections
+// are hard-closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	s.streamCancel()
+	past := time.Now().Add(-time.Second)
+	for _, c := range conns {
+		_ = c.SetReadDeadline(past)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		for _, c := range conns {
+			c.Close()
+		}
+		<-done
+		return ctx.Err()
+	}
+}
+
 // Close stops accepting, closes every connection, and waits for the
-// per-connection goroutines to drain. Idempotent.
+// per-connection goroutines to drain. Responses still waiting on the
+// durable watermark are abandoned (their records stay committed and
+// durable — only the acks are lost); use Shutdown to drain them.
+// Idempotent; after a Shutdown already in flight it just waits.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -218,10 +302,7 @@ func (s *Server) Stats() Stats {
 		Requests:    map[string]uint64{},
 		RequestErrs: s.reqErrs.Load(),
 	}
-	for op, name := range map[byte]string{
-		OpGet: "get", OpPut: "put", OpDel: "del",
-		OpBatch: "batch", OpWatch: "watch", OpStats: "stats",
-	} {
+	for op, name := range opNames {
 		st.Requests[name] = s.reqs[op].Load()
 	}
 	st.Shards = s.store.Shards()
@@ -254,6 +335,13 @@ func (s *Server) Stats() Stats {
 		st.WALMeanBatch = float64(batchSum) / float64(flushSum)
 	}
 	return st
+}
+
+// stopping reports whether Close or Shutdown has begun.
+func (s *Server) stopping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -347,7 +435,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	for {
 		payload, err := readFrame(br, s.opts.maxFrame())
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && ctx.Err() == nil && !s.stopping() {
 				s.logf("server: %s: read: %v", nc.RemoteAddr(), err)
 			}
 			_ = acks.PutCtx(ctx, s.rt, pend{sentinel: true})
@@ -365,6 +453,17 @@ func (s *Server) handleConn(nc net.Conn) {
 				resp:     Response{Status: StatusErr, Op: req.Op, ID: req.ID, Err: err.Error()},
 			})
 			_ = acks.PutCtx(ctx, s.rt, pend{sentinel: true})
+			break
+		}
+		if req.Op == OpReplHello {
+			// The connection stops being request/response here: flush
+			// everything the writer still owes (in order, durability
+			// waits included), retire it, and hand the socket to the
+			// replication stream.
+			s.reqs[OpReplHello].Add(1)
+			_ = acks.PutCtx(ctx, s.rt, pend{sentinel: true})
+			<-writerDone
+			s.serveRepl(nc, req)
 			break
 		}
 		p := s.execute(req)
@@ -408,9 +507,18 @@ func (s *Server) execute(req Request) pend {
 		return p
 	}
 	p.resp = Response{Status: StatusOK, Op: req.Op, ID: req.ID}
+	if s.opts.ReadOnly && (req.Op == OpPut || req.Op == OpDel || req.Op == OpBatch) {
+		return fail(errReadOnly)
+	}
 	switch req.Op {
 	case OpGet:
-		err := s.store.View(func(tx *stm.Tx) error {
+		view := s.store.View
+		if s.opts.ReadOnly {
+			// Replica reads ride the snapshot path: abort-free, ordered
+			// at the applied (LastDurable-consistent) cut.
+			view = s.store.SnapshotView
+		}
+		err := view(func(tx *stm.Tx) error {
 			p.resp.Val, p.resp.Found = s.store.Get(tx, req.Key)
 			return nil
 		})

@@ -333,7 +333,7 @@ func (tx *Tx) commitWriteBack() (uint64, bool) {
 			truncated += uint64(dropped)
 			if tx.slow && tx.rt.rec != nil {
 				tx.rt.rec.Record(Event{Kind: EvSnapTruncate, TxID: tx.id,
-					Owner: tx.owner, Var: e.m.id, Ver: horizon, Aux: uint64(dropped)})
+					Owner: tx.owner, Var: e.m.idLoad(), Ver: horizon, Aux: uint64(dropped)})
 			}
 		}
 		e.m.owner.Store(nil)
@@ -449,7 +449,7 @@ func (rt *Runtime) runSerial(tx *Tx, fn func(tx *Tx) error) (out txOutcome) {
 				truncated += uint64(dropped)
 				if tx.slow {
 					rt.rec.Record(Event{Kind: EvSnapTruncate, TxID: tx.id,
-						Owner: tx.owner, Var: e.m.id, Ver: horizon, Aux: uint64(dropped)})
+						Owner: tx.owner, Var: e.m.idLoad(), Ver: horizon, Aux: uint64(dropped)})
 				}
 			}
 			e.m.lock.Store(packVersion(wv))

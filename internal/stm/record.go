@@ -248,7 +248,7 @@ func (tx *Tx) flushCommitEvents(wv uint64, aux uint64) {
 	}
 	for i := range tx.writes {
 		e := &tx.writes[i]
-		rec.Record(Event{Kind: EvWrite, TxID: tx.id, Owner: tx.owner, Var: e.m.id, Ver: wv})
+		rec.Record(Event{Kind: EvWrite, TxID: tx.id, Owner: tx.owner, Var: e.m.idLoad(), Ver: wv})
 	}
 	fill := wv
 	if fill == 0 {

@@ -154,7 +154,7 @@ func (tx *Tx) recordRead(m *varMeta, word uint64) {
 func (tx *Tx) recordReadSlow(m *varMeta, word uint64) {
 	if tx.rt.rec != nil {
 		tx.rt.rec.Record(Event{Kind: EvRead, TxID: tx.id, Owner: tx.owner,
-			Var: m.id, Ver: wordVersion(word)})
+			Var: m.idLoad(), Ver: wordVersion(word)})
 	}
 	if tx.htm {
 		tx.htmReadLines++
@@ -172,7 +172,7 @@ func (tx *Tx) snapRead(m *varMeta, ver uint64) {
 	tx.snapReads++
 	if tx.slow && tx.rt.rec != nil {
 		tx.rt.rec.Record(Event{Kind: EvRead, TxID: tx.id, Owner: tx.owner,
-			Var: m.id, Ver: ver})
+			Var: m.idLoad(), Ver: ver})
 	}
 }
 
@@ -394,14 +394,14 @@ func (tx *Tx) sortWrites() {
 	w := tx.writes
 	if len(w) <= 32 {
 		for i := 1; i < len(w); i++ {
-			for j := i; j > 0 && w[j].m.id < w[j-1].m.id; j-- {
+			for j := i; j > 0 && w[j].m.idLoad() < w[j-1].m.idLoad(); j-- {
 				w[j], w[j-1] = w[j-1], w[j]
 			}
 		}
 		return
 	}
 	sort.Slice(w, func(i, j int) bool {
-		return w[i].m.id < w[j].m.id
+		return w[i].m.idLoad() < w[j].m.idLoad()
 	})
 }
 

@@ -148,6 +148,12 @@ func (m *varMeta) ensureID() {
 
 func (v *Var[T]) ensureID() { v.m.ensureID() }
 
+// idLoad reads the ID with the atomicity ensureID's CAS requires: a
+// var shared before its first commit can have its ID assigned by one
+// goroutine while another records an event naming it — a plain read
+// here is a data race against the (possibly failing) CAS.
+func (m *varMeta) idLoad() uint64 { return atomic.LoadUint64(&m.id) }
+
 // ID returns the Var's unique identifier, as used in recorded history
 // events (Event.Var), assigning one if the Var has never been written.
 func (v *Var[T]) ID() uint64 {
@@ -332,12 +338,12 @@ func (v *Var[T]) StoreDirect(rt *Runtime, x T) {
 			horizon := rt.snapHorizon.Load()
 			if dropped := v.pushHist(wv, horizon, rt.cfg.SnapshotChainDepth); dropped > 0 {
 				rt.stats.SnapshotTruncations.Add(uint64(dropped))
-				rt.recEvent(Event{Kind: EvSnapTruncate, Var: v.m.id,
+				rt.recEvent(Event{Kind: EvSnapTruncate, Var: v.m.idLoad(),
 					Ver: horizon, Aux: uint64(dropped)})
 			}
 			v.val.Store(&x)
 			v.m.lock.Store(packVersion(wv))
-			rt.recEvent(Event{Kind: EvDirectWrite, Var: v.m.id, Ver: wv})
+			rt.recEvent(Event{Kind: EvDirectWrite, Var: v.m.idLoad(), Ver: wv})
 			v.m.wakeWatchers()
 			return
 		}

@@ -173,7 +173,7 @@ func (rt *Runtime) parkOnReadSet(ctx context.Context, tx *Tx) error {
 				// later write will name (the checker matches them).
 				e.m.ensureID()
 				rt.recEvent(Event{Kind: EvWatchRegister, TxID: tx.id,
-					Owner: tx.owner, Var: e.m.id, Ver: wordVersion(e.ver)})
+					Owner: tx.owner, Var: e.m.idLoad(), Ver: wordVersion(e.ver)})
 			}
 		}
 	}

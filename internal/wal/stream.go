@@ -1,0 +1,144 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"deferstm/internal/stm"
+)
+
+// This file is the log's replication surface: everything a follower
+// process needs to bootstrap from the latest checkpoint and then tail
+// the segment files as an LSN-ordered record stream, without any new
+// on-disk format — the stream reads the same segments and checkpoint
+// records recovery does.
+
+// ErrPruned reports that a requested LSN range is no longer on storage:
+// a checkpoint has pruned the covering segments since the caller's
+// cursor was valid. The caller should re-bootstrap from LatestCheckpoint
+// and resume tailing from its upTo.
+var ErrPruned = errors.New("wal: range pruned by checkpoint")
+
+// CheckpointLSN returns the upTo of the newest fsynced checkpoint, 0
+// when none exists. Monotone over the log's lifetime.
+func (l *Log) CheckpointLSN() uint64 { return l.lastCkpt.Load() }
+
+// PeekDurable reads the durability watermark inside tx WITHOUT
+// subscribing to the log lock. This is the watermark read for stream
+// tails parked in retry: like WaitDurable (see its comment), a tail
+// must wake when a flush publishes — not when the lock frees — or every
+// publish would stampede the parked tails through the lock's release
+// window. Unlike LastDurable it gives no flush-exclusion guarantee,
+// which a tail does not need: it only ever reads bytes ≤ the watermark.
+func (l *Log) PeekDurable(tx *stm.Tx) uint64 { return l.durable.Get(tx) }
+
+// ReadRange returns intact records with LSN in (after, upTo], ascending,
+// reading at most maxBytes of payload past the first record (at least
+// one record is always returned when any is available). The caller
+// must keep upTo at or below the published durable watermark: bytes
+// beyond it may not have been fsynced and must never be shipped.
+//
+// The whole scan holds fmu — segment files are append-shared with the
+// flusher (sim backends share the byte slice), so reading a live
+// segment concurrently with a write is a data race. Callers bound
+// maxBytes to keep the flush stall short.
+//
+// Returns ErrPruned when the range starts below the oldest record still
+// on storage (a concurrent checkpoint pruned it); the caller
+// re-bootstraps from LatestCheckpoint.
+func (l *Log) ReadRange(after, upTo uint64, maxBytes int) ([]Record, error) {
+	if upTo <= after {
+		return nil, nil
+	}
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	if l.closed {
+		return nil, errors.New("wal: log closed")
+	}
+	// The segment holding after+1 is the last one starting at or below
+	// it; if even the oldest segment starts past after+1 the range has
+	// been pruned (its records live only inside a checkpoint now).
+	idx := -1
+	for i, s := range l.segs {
+		if s.start <= after+1 {
+			idx = i
+		} else {
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, ErrPruned
+	}
+	var out []Record
+	bytes := 0
+	for i := idx; i < len(l.segs); i++ {
+		data, err := readWhole(l.b, l.segs[i].name)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read segment %s: %w", l.segs[i].name, err)
+		}
+		off := 0
+		for off < len(data) {
+			lsn, payload, _, ok := decodeNext(data[off:])
+			if !ok {
+				// Live logs have no torn tails (recovery truncated them
+				// and fmu excludes in-flight writes); anything here is
+				// past upTo or damage the next Open will classify.
+				break
+			}
+			if lsn > upTo {
+				return out, nil
+			}
+			if lsn > after {
+				out = append(out, Record{
+					LSN: lsn, Payload: append([]byte(nil), payload...),
+					Seg: l.segs[i].name, Off: int64(off),
+				})
+				bytes += len(payload)
+				if bytes >= maxBytes {
+					return out, nil
+				}
+			}
+			off += recordSize(len(payload))
+		}
+	}
+	if len(out) == 0 {
+		// upTo > after promised records, the segments had none at or
+		// after the cursor: the gap sits below a checkpoint cut.
+		return nil, ErrPruned
+	}
+	return out, nil
+}
+
+// LatestCheckpoint returns the newest intact checkpoint's upTo and blob
+// (0, nil when the log has never checkpointed). It validates with the
+// same decode recovery uses and falls back to older checkpoints on a
+// torn read, tolerating a concurrent Checkpoint pruning under it.
+func (l *Log) LatestCheckpoint() (uint64, []byte, error) {
+	names, err := l.b.Names()
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: list backend: %w", err)
+	}
+	var ckpts []uint64
+	for _, n := range names {
+		if lsn, ok := parseName(n, ckptPrefix); ok {
+			ckpts = append(ckpts, lsn)
+		}
+	}
+	best := uint64(0)
+	var blob []byte
+	for _, lsn := range ckpts {
+		if lsn <= best {
+			continue
+		}
+		data, err := readWhole(l.b, ckptName(lsn))
+		if err != nil {
+			continue // pruned from under us; an older (or newer) one will do
+		}
+		gotLSN, b, rest, ok := decodeNext(data)
+		if !ok || gotLSN != lsn || len(rest) != 0 {
+			continue
+		}
+		best, blob = lsn, append([]byte(nil), b...)
+	}
+	return best, blob, nil
+}

@@ -153,6 +153,8 @@ type Log struct {
 	fsyncs   atomic.Uint64
 	maxBatch atomic.Uint64
 	hist     [17]atomic.Uint64
+
+	lastCkpt atomic.Uint64 // upTo of the newest fsynced checkpoint (0 when none)
 }
 
 const (
@@ -256,6 +258,7 @@ func Open(rt *stm.Runtime, b Backend, opts Options) (*Log, *Recovery, error) {
 	l := &Log{rt: rt, b: b, opts: opts, segs: segs}
 	l.nextLSN.Init(rec.LastLSN + 1)
 	l.durable.Init(rec.LastLSN)
+	l.lastCkpt.Store(rec.CheckpointLSN)
 	if len(segs) == 0 {
 		l.segs = []segMeta{{name: segName(rec.LastLSN + 1), start: rec.LastLSN + 1}}
 		if l.cur, err = b.Create(l.segs[0].name); err != nil {
@@ -817,6 +820,17 @@ func (l *Log) Checkpoint(snap func(tx *stm.Tx) (blob []byte, upTo uint64, err er
 		return 0, err
 	}
 
+	// Re-checkpointing an already-covered upTo would Create() the same
+	// file name and truncate the only durable recovery base in place: a
+	// crash between that truncation and the new fsync leaves NO valid
+	// checkpoint while the segments it covered were already pruned by the
+	// previous call — unrecoverable loss of every record ≤ upTo (and a
+	// bootstrapping replica could ship the half-written blob). With no
+	// new LSNs there is nothing to capture; keep the existing base.
+	if upTo <= l.lastCkpt.Load() {
+		return upTo, nil
+	}
+
 	name := ckptName(upTo)
 	f, err := l.b.Create(name)
 	if err != nil {
@@ -834,6 +848,7 @@ func (l *Log) Checkpoint(snap func(tx *stm.Tx) (blob []byte, upTo uint64, err er
 	if err := f.Close(); err != nil {
 		return 0, fmt.Errorf("wal: close checkpoint: %w", err)
 	}
+	l.lastCkpt.Store(upTo)
 
 	// Prune: only now that the new base is durable. Older checkpoints
 	// first, then segments every record of which is ≤ upTo.

@@ -231,4 +231,93 @@ awk 'NF == 2' "$kvdir/ack4.txt" | grep -q . \
 "$kvdir/kvserver" -dir "$kvdir/wal4" -verify -ackfile "$kvdir/ack4.txt" \
     | grep -q 'verify ok: 4 lanes' || { echo "per-lane verify failed"; exit 1; }
 
+# The replication engine's cross-lane barrier, cursor bookkeeping and
+# reconnect paths are all shared-state concurrency between the stream
+# goroutine and readers: gate internal/repl under the race detector
+# explicitly, uncached.
+echo "==> replication engine + stream tests (race detector, uncached)"
+go test -race -count=1 ./internal/repl
+
+# In-process replication torture: primary + server + replica in one
+# binary, writer threads with cross-lane batches, checkpoints rotating
+# lanes under the stream, seeded Kick() partitions — then prefix
+# coverage (check.AckedPrefixLanes), content equality and per-thread
+# counter exactness, with the primary's history verified.
+echo "==> stmtorture replica workload (partitions + checkpoints, -check)"
+go run ./cmd/stmtorture -duration 2s -threads 8 -workload replica -check -seed 2
+
+# Replica smoke: one primary on a fixed port (so restarts are
+# re-dialable), two kvreplica processes tailing it, a kvloadgen ladder
+# recording per-lane acked LSNs, kill -9 of the primary mid-stream,
+# reads served by the replicas while the primary is down (binary
+# protocol and the /kv/scan HTTP fallback), then a restart from the
+# same WAL dir, more load, and a polled `kvreplica -verify` for both:
+# every acked LSN applied, zero snapshot-path fallbacks, and a
+# well-formed replication-lag bench document.
+echo "==> replica smoke (primary + 2 replicas + kill -9 + reconnect + verify)"
+go build -o "$kvdir/kvreplica" ./cmd/kvreplica
+rbound="127.0.0.1:9196"
+"$kvdir/kvserver" -addr "$rbound" -dir "$kvdir/walr" -mode group -shards 4 \
+    2>"$kvdir/primary.log" &
+kvsrvpid=$!
+"$kvdir/kvreplica" -primary "$rbound" -addr 127.0.0.1:0 \
+    -addrfile "$kvdir/r1addr.txt" -statusfile "$kvdir/r1status.json" \
+    -metrics 127.0.0.1:9195 2>"$kvdir/r1.log" &
+r1pid=$!
+"$kvdir/kvreplica" -primary "$rbound" -addr 127.0.0.1:0 \
+    -addrfile "$kvdir/r2addr.txt" -statusfile "$kvdir/r2status.json" \
+    2>"$kvdir/r2.log" &
+r2pid=$!
+sleep 0.3
+"$kvdir/kvloadgen" -addr "$rbound" -conns 1,4,8 -ops 400 -reads 20 \
+    -ackfile "$kvdir/ackr.txt" >/dev/null
+for f in r1addr.txt r2addr.txt; do
+    ok=""
+    for _ in $(seq 1 100); do
+        [ -s "$kvdir/$f" ] && { ok=1; break; }
+        sleep 0.1
+    done
+    [ -n "$ok" ] || { echo "replica never caught up ($f)"; cat "$kvdir/r1.log" "$kvdir/r2.log"; exit 1; }
+done
+kill -9 "$kvsrvpid" 2>/dev/null || true
+wait "$kvsrvpid" 2>/dev/null || true
+# Primary is dead; both replicas must keep serving their applied state.
+"$kvdir/kvloadgen" -addr "$(head -n1 "$kvdir/r1addr.txt")" -conns 2 -ops 200 \
+    -reads 100 >/dev/null
+curl -sf "http://127.0.0.1:9195/kv/scan?limit=5" | grep -q '"count"' \
+    || { echo "replica /kv/scan failed while primary down"; exit 1; }
+# Restart from the same WAL dir on the same port: the replicas'
+# reconnect loops re-handshake from their applied cursors.
+"$kvdir/kvserver" -addr "$rbound" -dir "$kvdir/walr" -mode group -shards 4 \
+    2>"$kvdir/primary2.log" &
+kvsrvpid=$!
+sleep 0.5
+"$kvdir/kvloadgen" -addr "$rbound" -conns 4 -ops 400 -reads 20 \
+    -ackfile "$kvdir/ackr2.txt" >/dev/null
+cat "$kvdir/ackr.txt" "$kvdir/ackr2.txt" >"$kvdir/ackr_all.txt"
+for sf in r1status.json r2status.json; do
+    ok=""
+    for _ in $(seq 1 100); do
+        if "$kvdir/kvreplica" -verify -statusfile "$kvdir/$sf" \
+            -ackfile "$kvdir/ackr_all.txt" >"$kvdir/verify_$sf.txt" 2>/dev/null; then
+            ok=1
+            break
+        fi
+        sleep 0.2
+    done
+    [ -n "$ok" ] || { echo "replica verify never passed ($sf)"; \
+        "$kvdir/kvreplica" -verify -statusfile "$kvdir/$sf" -ackfile "$kvdir/ackr_all.txt"; \
+        cat "$kvdir/r1.log" "$kvdir/r2.log"; exit 1; }
+    grep -q 'replica verify ok' "$kvdir/verify_$sf.txt" \
+        || { echo "verify output malformed ($sf)"; exit 1; }
+done
+# Lag percentiles must come out as a well-formed bench document.
+"$kvdir/kvreplica" -verify -statusfile "$kvdir/r1status.json" \
+    -json "$kvdir/replica_lag.json" >/dev/null
+go run ./cmd/stmbench -validate "$kvdir/replica_lag.json"
+kill "$r1pid" "$r2pid" 2>/dev/null || true
+wait "$r1pid" "$r2pid" 2>/dev/null || true
+kill -9 "$kvsrvpid" 2>/dev/null || true
+wait "$kvsrvpid" 2>/dev/null || true
+
 echo "CI green"
